@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "System Level
+// Analysis of the Bluetooth Standard" (Conti & Moretti, DATE 2005): a
+// discrete-event, behavioural-level model of the Bluetooth 1.2 lower
+// layers (baseband link controller, link manager, thin HCI) over a noisy
+// shared channel, with the instrumentation needed to regenerate every
+// figure of the paper's evaluation.
+//
+// The public API lives in internal/core (simulation assembly and
+// scenario helpers), internal/baseband (devices, links, power modes),
+// internal/lmp and internal/hci; see README.md for a tour and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each figure; run them with
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,111 @@
+// Package access builds and correlates Bluetooth access codes: the 72-bit
+// (or standalone 68-bit) preamble + sync word that opens every packet and
+// that ID packets consist of entirely. The 64-bit sync word is derived
+// from a 24-bit LAP with the BCH(64,30) construction of Bluetooth 1.2
+// part B §6.3.3, and reception is modelled as the sliding correlator of a
+// real baseband: a packet is caught iff the received sync word is within
+// the correlator's error threshold of the expected one.
+package access
+
+import "repro/internal/bits"
+
+// GIAC is the general inquiry access code LAP shared by all devices.
+const GIAC uint32 = 0x9E8B33
+
+// bchGen is the BCH(64,30) generator polynomial, octal 260534236651
+// (degree 34), per the spec's sync-word construction.
+const bchGen uint64 = 0o260534236651
+
+// pnSequence is the 64-bit pseudo-random sequence XORed over the
+// information and the codeword (spec part B §6.3.3.1), given here with
+// bit 0 = first transmitted bit.
+const pnSequence uint64 = 0x83848D96BBCC54FC
+
+// SyncWord derives the 64-bit sync word for a LAP. Layout, LSB (first on
+// air) to MSB: 6 Barker bits, 24 LAP bits, 34 BCH parity bits — with the
+// PN whitening applied as in the standard.
+func SyncWord(lap uint32) uint64 {
+	lap &= 0xFFFFFF
+	// Barker extension chosen by the MSB of the LAP to balance DC.
+	var barker uint64 = 0b001101
+	if lap&0x800000 != 0 {
+		barker = 0b110010
+	}
+	info := barker | uint64(lap)<<6 // 30 bits
+	info ^= pnSequence & 0x3FFFFFFF
+	parity := bchParity(info)
+	word := info | parity<<30
+	word ^= pnSequence &^ 0x3FFFFFFF // re-whiten only the parity half
+	return word
+}
+
+// bchParity divides info(D)·D^34 by the generator and returns the 34
+// parity bits.
+func bchParity(info uint64) uint64 {
+	reg := info << 34
+	for i := 63; i >= 34; i-- {
+		if reg&(1<<i) != 0 {
+			reg ^= bchGen << (i - 34)
+		}
+	}
+	return reg & ((1 << 34) - 1)
+}
+
+// preambleFor returns the 4-bit preamble: 0101 or 1010 chosen so it
+// alternates into the sync word's first bit.
+func preambleFor(sync uint64) uint64 {
+	if sync&1 == 1 {
+		return 0b0101 // ends in 1·? first air bit 1... LSB-first: 1,0,1,0
+	}
+	return 0b1010
+}
+
+// trailerFor returns the 4-bit trailer extending the alternation out of
+// the sync word's last bit.
+func trailerFor(sync uint64) uint64 {
+	if sync>>63 == 1 {
+		return 0b1010
+	}
+	return 0b0101
+}
+
+// Code returns the access code bits for a LAP. withTrailer selects the
+// 72-bit form used when a header follows; ID packets use the 68-bit form.
+func Code(lap uint32, withTrailer bool) *bits.Vec {
+	sync := SyncWord(lap)
+	n := 68
+	if withTrailer {
+		n = 72
+	}
+	v := bits.NewVec(n)
+	v.AppendUint(preambleFor(sync), 4)
+	v.AppendUint(sync, 64)
+	if withTrailer {
+		v.AppendUint(trailerFor(sync), 4)
+	}
+	return v
+}
+
+// DefaultCorrelatorThreshold is the maximum number of sync-word bit
+// errors the sliding correlator accepts. 7 of 64 corresponds to the
+// customary 57-of-64 correlation threshold of baseband receivers.
+const DefaultCorrelatorThreshold = 7
+
+// Correlate reports whether received access-code bits match the expected
+// LAP within threshold sync-word bit errors. Only the 64 sync bits are
+// correlated; preamble/trailer exist for DC balance and carry no
+// information. ok is false if rx is too short to contain a sync word.
+func Correlate(rx *bits.Vec, lap uint32, threshold int) (errors int, ok bool) {
+	if rx.Len() < 68 {
+		return 0, false
+	}
+	want := SyncWord(lap)
+	got := rx.Uint(4, 64)
+	diff := want ^ got
+	n := 0
+	for diff != 0 {
+		diff &= diff - 1
+		n++
+	}
+	return n, n <= threshold
+}

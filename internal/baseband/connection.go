@@ -1,0 +1,358 @@
+package baseband
+
+import (
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// startMasterLoop enters connection state as piconet master and begins
+// the TDD polling scheme: transmit in even CLK slots, listen for the
+// addressed slave's response in the following slot.
+func (d *Device) startMasterLoop() {
+	d.isMaster = true
+	d.setState(StateConnection)
+	d.onRx = d.masterRx
+	d.scheduleMasterSlot(d.now())
+}
+
+func (d *Device) scheduleMasterSlot(from sim.Time) {
+	t := d.nextCLKSlot(from)
+	if t <= d.now() {
+		t = d.nextCLKSlot(d.now() + 1)
+	}
+	d.at(t, d.masterSlot)
+}
+
+// masterSlot runs one master transmit opportunity.
+func (d *Device) masterSlot() {
+	if d.state != StateConnection || !d.isMaster {
+		return
+	}
+	if d.rxBusy {
+		// A multi-slot response is still arriving.
+		d.scheduleMasterSlot(d.now() + 1)
+		return
+	}
+	d.rxOff()
+	now := d.now()
+	d.checkSupervision(now)
+	if d.state != StateConnection {
+		return // every link supervision-timed-out
+	}
+	if sco := d.scoDue(now); sco != nil {
+		// Reserved voice slots take absolute priority.
+		d.transmitSCOSlot(sco, now)
+		return
+	}
+	if d.beaconDue(now) {
+		d.transmitBeacon(now)
+		d.scheduleMasterSlot(now + 1)
+		return
+	}
+	l := d.pickLink(now)
+	if l == nil {
+		d.scheduleMasterSlot(now + 1)
+		return
+	}
+	clk := d.Clock.CLK(now)
+	p := l.nextPacket(true)
+	// Keep multi-slot ACL packets (and their response slot) clear of the
+	// next SCO reservation.
+	if gap := d.evenSlotsToNextSCO(clk >> 2); uint32(p.Header.Type.Slots()+1+1)/2 > gap {
+		if l.pending != nil {
+			l.pendingSent = false // not actually sent this time
+		}
+		p = &packet.Packet{AccessLAP: d.cfg.Addr.LAP,
+			Header: &packet.Header{AMAddr: l.AMAddr, Type: packet.TypePoll, ARQN: l.arqnOut}}
+	}
+	if p.Header.Type == packet.TypePoll {
+		d.Counters.Polls++
+	}
+	d.transmit(p, d.cfg.Addr.UAP, clk, d.chanFreq(d.ownSel, clk))
+	l.lastAddressedAt = now
+
+	// Listen for the slave's response in the slot after the packet.
+	slots := uint64(p.Header.Type.Slots())
+	respAt := now + sim.Time(sim.Slots(slots))
+	d.at(respAt-sim.Time(d.leadTicks()), func() {
+		if !d.rxBusy {
+			d.rxOn(d.chanFreq(d.ownSel, d.Clock.CLK(respAt)))
+		}
+	})
+	csClose := respAt + sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS)))
+	d.at(csClose, func() {
+		if !d.rxBusy {
+			d.rxOff()
+		}
+	})
+	d.scheduleMasterSlot(respAt + sim.Time(sim.Slots(1)))
+}
+
+// pickLink selects which slave (if any) this transmit slot serves:
+// traffic first, then poll-due links, respecting sniff windows and hold.
+func (d *Device) pickLink(now sim.Time) *Link {
+	evenIdx := d.Clock.CLK(now) >> 2
+	tpoll := sim.Time(sim.Slots(uint64(d.cfg.TpollSlots)))
+	var pollDue *Link
+	var withData *Link
+	for am := uint8(1); am <= 7; am++ {
+		l, ok := d.links[am]
+		if !ok {
+			continue
+		}
+		switch l.mode {
+		case ModeHold:
+			if now < l.holdUntil {
+				continue
+			}
+			// Hold expired: resynchronise the slave with a poll.
+			if pollDue == nil {
+				pollDue = l
+			}
+			continue
+		case ModeSniff:
+			if !l.inSniffWindow(evenIdx) {
+				continue
+			}
+		case ModePark:
+			continue // parked slaves only get beacons
+		}
+		if l.hasTraffic() && withData == nil {
+			withData = l
+		}
+		if l.newconnPending || now-l.lastAddressedAt >= tpoll {
+			if pollDue == nil {
+				pollDue = l
+			}
+		}
+	}
+	if withData != nil {
+		return withData
+	}
+	return pollDue
+}
+
+// masterRx handles slave responses.
+func (d *Device) masterRx(tx *channel.Transmission, rx *bits.Vec, collided bool) {
+	defer d.rxOff()
+	if collided {
+		return
+	}
+	clk := d.Clock.CLK(tx.Start)
+	p, _, err := d.parse(rx, d.cfg.Addr.LAP, d.cfg.Addr.UAP, clk)
+	if err != nil {
+		d.Counters.RxErrors++
+		// We cannot attribute the failure to a link (header unknown), so
+		// no ARQ update; the pending packet retransmits on timeout.
+		return
+	}
+	d.Counters.RxPackets++
+	if p.Header.Type.IsSCO() {
+		if l, ok := d.links[p.Header.AMAddr]; ok {
+			l.lastHeardAt = d.now()
+		}
+		d.handleSCORx(p, tx.Start)
+		return
+	}
+	l, ok := d.links[p.Header.AMAddr]
+	if !ok {
+		return
+	}
+	l.lastHeardAt = d.now()
+	if l.newconnPending {
+		l.newconnPending = false
+		d.completeConnection(l)
+	}
+	if l.mode == ModeHold && d.now() >= l.holdUntil {
+		d.masterHoldResynced(l)
+	}
+	deliver := l.processRx(p.Header, len(p.Payload) > 0)
+	if deliver {
+		d.deliverUp(l, p)
+	}
+}
+
+// completeConnection finalises a link on the master: page success and
+// connection callbacks.
+func (d *Device) completeConnection(l *Link) {
+	d.pageSucceed(l)
+	if d.OnConnected != nil {
+		d.OnConnected(l)
+	}
+}
+
+// deliverUp routes a received payload to the LMP or host callback.
+func (d *Device) deliverUp(l *Link, p *packet.Packet) {
+	if p.LLID == packet.LLIDLMP {
+		if d.OnLMP != nil {
+			d.OnLMP(l, p.Payload)
+		}
+		return
+	}
+	if d.OnData != nil {
+		d.OnData(l, p.Payload, p.LLID)
+	}
+}
+
+// startSlaveLoop enters connection state as a slave: listen briefly at
+// every master transmit slot, receive packets addressed to us, respond
+// in the following slot.
+func (d *Device) startSlaveLoop() {
+	d.isMaster = false
+	d.setState(StateConnection)
+	d.onRx = d.slaveRx
+	d.onRxStart = d.slaveRxStart
+	d.scheduleSlaveListen(d.now())
+}
+
+// scheduleSlaveListen arms the next listen window: the next master
+// transmit slot in active mode, or the next sniff anchor / hold end.
+func (d *Device) scheduleSlaveListen(from sim.Time) {
+	l := d.mlink
+	if l == nil {
+		return
+	}
+	switch l.mode {
+	case ModeHold:
+		d.at(maxTime(l.holdUntil, from), d.slaveHoldResync)
+		return
+	case ModeSniff:
+		d.at(d.nextSniffAnchor(from), d.slaveListenSlot)
+		return
+	case ModePark:
+		d.at(d.nextBeaconSlot(from), d.slaveListenSlot)
+		return
+	}
+	t := d.nextCLKSlotAfterLead(from)
+	d.at(t-sim.Time(d.leadTicks()), d.slaveListenSlot)
+}
+
+// nextSniffAnchor returns the start time of the next even slot inside
+// the sniff window at or after `from`.
+func (d *Device) nextSniffAnchor(from sim.Time) sim.Time {
+	l := d.mlink
+	t := d.nextCLKSlotAfterLead(from)
+	for i := 0; ; i++ {
+		if l.inSniffWindow(d.Clock.CLK(t) >> 2) {
+			return t - sim.Time(d.leadTicks())
+		}
+		t += sim.Time(sim.Slots(2))
+		if i > l.sniffT {
+			panic("baseband: sniff window never opens")
+		}
+	}
+}
+
+// slaveListenSlot opens the listen window at a master transmit slot.
+func (d *Device) slaveListenSlot() {
+	l := d.mlink
+	if d.state != StateConnection || l == nil {
+		return
+	}
+	d.checkSupervision(d.now())
+	if d.mlink == nil {
+		return // supervision timeout fired
+	}
+	if d.rxBusy || d.txCount > 0 {
+		d.scheduleSlaveListen(d.now() + 1)
+		return
+	}
+	// The window opened leadTicks early; the slot boundary is next.
+	slotStart := d.nextCLKSlot(d.now())
+	d.rxOn(d.chanFreq(l.sel, d.Clock.CLK(slotStart)))
+	window := sim.Microseconds(uint64(d.cfg.CarrierSenseUS))
+	if l.mode == ModeSniff {
+		window = sim.Microseconds(uint64(d.cfg.SniffListenUS))
+	}
+	d.at(slotStart+sim.Time(window), func() {
+		if !d.rxBusy {
+			d.rxOff()
+		}
+	})
+	d.scheduleSlaveListen(slotStart + sim.Time(sim.Slots(2)) - sim.Time(d.leadTicks()))
+}
+
+// slaveRxStart aborts reception after the header when the packet is for
+// another piconet member (the paper's Fig 5 shows exactly this: the RF
+// stays on only "to the end of the first part of the transmission").
+func (d *Device) slaveRxStart(tx *channel.Transmission) {
+	meta, ok := tx.Meta.(AirMeta)
+	if !ok || d.mlink == nil {
+		return
+	}
+	if meta.AMAddr == d.mlink.AMAddr || meta.AMAddr == 0 {
+		return // ours or broadcast: receive fully
+	}
+	// Access code (72) + FEC-1/3 header (54) = 126 us decides AM_ADDR.
+	d.after(sim.Microseconds(126), func() {
+		if d.rxBusy {
+			d.rxOffForce()
+		}
+	})
+}
+
+// slaveRx handles packets in the slave connection loop.
+func (d *Device) slaveRx(tx *channel.Transmission, rx *bits.Vec, collided bool) {
+	l := d.mlink
+	if l == nil {
+		d.rxOff()
+		return
+	}
+	if collided {
+		d.rxOff()
+		l.rxFailed()
+		return
+	}
+	clk := d.Clock.CLK(tx.Start)
+	p, _, err := d.parse(rx, l.Master.LAP, l.Master.UAP, clk)
+	d.rxOff()
+	if err != nil {
+		d.Counters.RxErrors++
+		l.rxFailed()
+		return
+	}
+	d.Counters.RxPackets++
+	if p.Header.AMAddr != l.AMAddr && p.Header.AMAddr != 0 {
+		return // another member's packet that survived to delivery
+	}
+	l.lastHeardAt = d.now()
+	if l.newconnPending {
+		l.newconnPending = false
+		if d.OnConnected != nil {
+			d.OnConnected(l)
+		}
+	}
+	if p.Header.Type.IsSCO() {
+		d.handleSCORx(p, tx.Start)
+		return
+	}
+	broadcast := p.Header.AMAddr == 0
+	deliver := l.processRx(p.Header, len(p.Payload) > 0)
+	if deliver {
+		d.deliverUp(l, p)
+	}
+	if broadcast || p.Header.Type == packet.TypeNull {
+		// Broadcasts and NULLs are not responded to.
+		d.maybeReenterHold(l)
+		return
+	}
+	// Respond in the slot following the master's packet.
+	respAt := tx.Start + sim.Time(sim.Slots(uint64(p.Header.Type.Slots())))
+	d.at(respAt, func() {
+		rclk := d.Clock.CLK(d.now())
+		resp := l.nextPacket(false)
+		d.transmit(resp, l.Master.UAP, rclk, d.chanFreq(l.sel, rclk))
+		d.after(sim.Duration(resp.AirBits()*sim.BitTicks), func() {
+			d.maybeReenterHold(l)
+		})
+	})
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,316 @@
+package baseband
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/bits"
+	"repro/internal/btclock"
+	"repro/internal/channel"
+	"repro/internal/hop"
+	"repro/internal/packet"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// AirMeta annotates transmissions so instrumentation (and the header
+// early-abort model) can see what is on the air without reparsing bits.
+type AirMeta struct {
+	Type   packet.Type
+	AMAddr uint8
+	LAP    uint32
+}
+
+// Device is one Bluetooth unit: clock, radio control, link-controller
+// state machine and (in connection state) the master scheduler or slave
+// listener. It implements channel.Listener.
+type Device struct {
+	name string
+	k    *sim.Kernel
+	ch   *channel.Channel
+	cfg  Config
+	rng  *sim.Rand
+
+	Clock   *btclock.Clock
+	ownSel  *hop.Selector
+	giacSel *hop.Selector
+
+	state State
+	gen   uint64 // generation counter: bumping invalidates stale events
+
+	// RF bookkeeping.
+	rxBusy  bool // mid-reception: hold the RX chain open
+	txCount int  // nested transmissions guard (should stay 0/1)
+	TxMeter *power.Meter
+	RxMeter *power.Meter
+
+	// Traced signals (the paper's waveforms).
+	SigState *sim.Signal[string]
+	SigTxOn  *sim.Signal[bool]
+	SigRxOn  *sim.Signal[bool]
+	SigFreq  *sim.Signal[int64]
+
+	// Receive dispatch for the current state; set by each procedure.
+	onRx func(tx *channel.Transmission, rx *bits.Vec, collided bool)
+	// onRxStart lets connection-state slaves abort packets for other
+	// members after the header; nil otherwise.
+	onRxStart func(tx *channel.Transmission)
+
+	inq    inquiryState
+	scan   scanState
+	pg     pageState
+	pgscan pageScanState
+
+	// Connection state.
+	isMaster         bool
+	links            map[uint8]*Link // master: AM_ADDR -> link
+	mlink            *Link           // slave: the link to the master
+	beaconEverySlots int             // park beacon period (master)
+	scoLinks         []*SCOLink      // reserved voice channels
+	afhMap           *hop.ChannelMap // adaptive hop set (nil = all 79)
+
+	// OnConnected fires when a connection completes (both roles).
+	OnConnected func(l *Link)
+	// OnDisconnected fires when a link dies: supervision timeout or an
+	// explicit DropLink.
+	OnDisconnected func(l *Link, reason string)
+	// OnLMP receives LLID-3 payloads (the Link Manager's channel).
+	OnLMP func(l *Link, payload []byte)
+	// OnData receives LLID-1/2 payloads (the host's channel).
+	OnData func(l *Link, payload []byte, llid uint8)
+
+	// Counters for the experiments.
+	Counters Counters
+}
+
+// Counters aggregates per-device protocol events.
+type Counters struct {
+	TxPackets    int
+	RxPackets    int
+	RxErrors     int // access-code hits that failed later checks
+	Collisions   int
+	IDsHeard     int
+	FHSHeard     int
+	Polls        int
+	Retransmits  int
+	DupsFiltered int
+}
+
+// New creates a device attached to a kernel and channel. Traced signals
+// register with whatever tracers are already on the kernel.
+func New(k *sim.Kernel, ch *channel.Channel, name string, cfg Config) *Device {
+	cfg.Normalize()
+	d := &Device{
+		name:    name,
+		k:       k,
+		ch:      ch,
+		cfg:     cfg,
+		rng:     sim.NewRand(cfg.Seed),
+		Clock:   btclock.New(cfg.ClockPhase),
+		ownSel:  hop.NewSelector(cfg.Addr.Addr28()),
+		giacSel: hop.NewSelector(hop.Addr28(access.GIAC, 0)),
+		TxMeter: power.NewMeter(k),
+		RxMeter: power.NewMeter(k),
+		links:   make(map[uint8]*Link),
+	}
+	d.SigState = sim.NewString(k, name+".state", StateStandby.String())
+	d.SigTxOn = sim.NewBool(k, name+".enable_tx_RF", false)
+	d.SigRxOn = sim.NewBool(k, name+".enable_rx_RF", false)
+	d.SigFreq = sim.NewInt(k, name+".freq", 7, 0)
+	return d
+}
+
+// Name implements channel.Listener.
+func (d *Device) Name() string { return d.name }
+
+// Addr returns the device address.
+func (d *Device) Addr() BDAddr { return d.cfg.Addr }
+
+// Config returns the normalized configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// State returns the current link-controller state.
+func (d *Device) State() State { return d.state }
+
+// IsMaster reports whether the device owns a piconet.
+func (d *Device) IsMaster() bool { return d.isMaster }
+
+// Links returns the master's links keyed by AM_ADDR.
+func (d *Device) Links() map[uint8]*Link { return d.links }
+
+// MasterLink returns the slave's link to its master (nil if none).
+func (d *Device) MasterLink() *Link { return d.mlink }
+
+// setState transitions the state machine, invalidating every event
+// scheduled under the previous state.
+func (d *Device) setState(s State) {
+	d.state = s
+	d.gen++
+	d.SigState.Set(s.String())
+	d.onRx = nil
+	d.onRxStart = nil
+}
+
+// after schedules fn to run after delay unless the state machine has
+// since transitioned.
+func (d *Device) after(delay sim.Duration, fn func()) {
+	gen := d.gen
+	d.k.Schedule(delay, func() {
+		if d.gen == gen {
+			fn()
+		}
+	})
+}
+
+// at schedules fn at an absolute time under the same staleness rule.
+func (d *Device) at(t sim.Time, fn func()) {
+	gen := d.gen
+	d.k.At(t, func() {
+		if d.gen == gen {
+			fn()
+		}
+	})
+}
+
+// now is shorthand for the kernel clock.
+func (d *Device) now() sim.Time { return d.k.Now() }
+
+// rxOn tunes the receiver to freq and raises enable_rx_RF.
+func (d *Device) rxOn(freq int) {
+	d.ch.Tune(d, freq)
+	d.RxMeter.Set(true)
+	d.SigRxOn.Set(true)
+	d.SigFreq.Set(int64(freq))
+}
+
+// rxOff lowers the receiver unless a packet is mid-air for us; the
+// reception handler decides again at RxEnd.
+func (d *Device) rxOff() {
+	if d.rxBusy {
+		return
+	}
+	d.rxOffForce()
+}
+
+// rxOffForce unconditionally shuts the receiver, abandoning any packet
+// in flight (state transitions, header-abort).
+func (d *Device) rxOffForce() {
+	d.rxBusy = false
+	d.ch.Untune(d)
+	d.RxMeter.Set(false)
+	d.SigRxOn.Set(false)
+}
+
+// transmit assembles and sends p at freq, driving the TX meter and
+// signal for the packet's air time.
+func (d *Device) transmit(p *packet.Packet, uap uint8, clk uint32, freq int) {
+	v := p.Assemble(uap, clk)
+	meta := AirMeta{Type: p.Type(), LAP: p.AccessLAP}
+	if p.Header != nil {
+		meta.AMAddr = p.Header.AMAddr
+	}
+	d.txCount++
+	d.TxMeter.Set(true)
+	d.SigTxOn.Set(true)
+	d.SigFreq.Set(int64(freq))
+	d.ch.Transmit(d.name, freq, v, meta)
+	d.Counters.TxPackets++
+	d.k.Schedule(sim.Duration(v.Len()*sim.BitTicks), func() {
+		d.txCount--
+		if d.txCount == 0 {
+			d.TxMeter.Set(false)
+			d.SigTxOn.Set(false)
+		}
+	})
+}
+
+// RxStart implements channel.Listener: a packet began on our frequency.
+func (d *Device) RxStart(tx *channel.Transmission) {
+	d.rxBusy = true
+	if d.onRxStart != nil {
+		d.onRxStart(tx)
+	}
+}
+
+// RxEnd implements channel.Listener: packet delivery (or collision).
+func (d *Device) RxEnd(tx *channel.Transmission, rx *bits.Vec, collided bool) {
+	d.rxBusy = false
+	if collided {
+		d.Counters.Collisions++
+	}
+	if d.onRx != nil {
+		d.onRx(tx, rx, collided)
+	} else {
+		d.rxOff()
+	}
+}
+
+// Detach resets the device to standby, dropping links, sync and any
+// scheduled activity (the paper's enable_detach_reset).
+func (d *Device) Detach() {
+	d.setState(StateStandby)
+	d.rxOffForce()
+	d.isMaster = false
+	d.links = make(map[uint8]*Link)
+	d.mlink = nil
+	d.pgscan = pageScanState{}
+	d.Clock.DropSync()
+}
+
+// parse decodes rx with the device's correlator threshold.
+func (d *Device) parse(rx *bits.Vec, lap uint32, uap uint8, clk uint32) (*packet.Packet, *packet.RxInfo, error) {
+	return packet.Parse(rx, lap, uap, clk, d.cfg.CorrelatorThreshold)
+}
+
+// leadTicks converts the RX lead to kernel ticks.
+func (d *Device) leadTicks() sim.Duration {
+	return sim.Microseconds(uint64(d.cfg.RxLeadUS))
+}
+
+// nextCLKSlot returns the next master transmit-slot boundary — piconet
+// clock CLK ≡ 0 (mod 4) — at or after t. Slaves carry a CLKN→CLK offset,
+// so this must not be confused with the native-clock grid.
+func (d *Device) nextCLKSlot(t sim.Time) sim.Time {
+	off := d.Clock.Offset() & 3
+	return d.Clock.NextTickTime(t, 4, (4-off)&3)
+}
+
+// nextCLKSlotAfterLead returns the next master slot whose lead-advanced
+// listen window lies strictly in the future (so rescheduling from within
+// an event can never chain at the same tick).
+func (d *Device) nextCLKSlotAfterLead(from sim.Time) sim.Time {
+	t := d.nextCLKSlot(from)
+	for t <= d.now()+sim.Time(d.leadTicks()) {
+		t = d.nextCLKSlot(t + 1)
+	}
+	return t
+}
+
+// SetAFH installs an adaptive channel map for connection-state hopping
+// (nil restores the full 79-channel set). Both ends of a piconet must
+// agree; lmp.Manager.SetAFH negotiates it over the air.
+func (d *Device) SetAFH(m *hop.ChannelMap) { d.afhMap = m }
+
+// AFHMap returns the current adaptive channel map (nil = full set).
+func (d *Device) AFHMap() *hop.ChannelMap { return d.afhMap }
+
+// chanFreq computes a connection-state frequency through the adaptive
+// channel map.
+func (d *Device) chanFreq(sel *hop.Selector, clk uint32) int {
+	return sel.BasicAFH(clk, d.afhMap)
+}
+
+// Now exposes the kernel clock to upper layers.
+func (d *Device) Now() sim.Time { return d.k.Now() }
+
+// After schedules fn on the device's kernel after a slot delay. Unlike
+// internal events it is not invalidated by state transitions; upper
+// layers (LMP, HCI, applications) use it for their own timers.
+func (d *Device) After(slots uint64, fn func()) {
+	d.k.Schedule(sim.Slots(slots), fn)
+}
+
+// String identifies the device in logs.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s[%s %s]", d.name, d.cfg.Addr, d.state)
+}

@@ -1,0 +1,180 @@
+package baseband
+
+import (
+	"repro/internal/hop"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// outMsg is one queued upper-layer payload.
+type outMsg struct {
+	data []byte
+	llid uint8
+}
+
+// Link is one ACL link as seen from one end. Master and slave each hold
+// their own Link for the same logical connection; both reference the
+// master's address (the piconet channel) for hopping and HEC/CRC.
+type Link struct {
+	dev *Device
+
+	// AMAddr is the slave's active member address on this piconet.
+	AMAddr uint8
+	// Peer is the other end's device address.
+	Peer BDAddr
+	// Master is the piconet master's address (equals Peer on a slave).
+	Master BDAddr
+
+	sel *hop.Selector // hop selector for the master's address
+
+	// PacketType is the baseband type used for data (default DM1); the
+	// packet-type ablation swaps it.
+	PacketType packet.Type
+
+	// ARQ state.
+	txq         []outMsg
+	pending     *outMsg // sent, awaiting acknowledgement
+	pendingSent bool    // pending has been transmitted at least once
+	seqnOut     bool
+	arqnOut     bool
+	seqnIn      bool
+	seqnInValid bool
+
+	// Scheduling state.
+	createdAt       sim.Time // link establishment, supervision baseline
+	lastAddressedAt sim.Time // master: last TX to this slave
+	lastHeardAt     sim.Time
+	newconnPending  bool
+
+	// Power mode.
+	mode         Mode
+	sniffT       int // Tsniff in slots (even)
+	sniffAttempt int // Nsniff-attempt in master slots
+	sniffOffset  int // anchor offset in even-slot index units
+	holdUntil    sim.Time
+	holdT        int  // hold duration in slots (for auto-repeat)
+	autoHold     bool // re-enter hold after each resync (paper Fig 12)
+	resyncUntil  sim.Time
+
+	// Stats.
+	TxData int
+	RxData int
+}
+
+func newLink(dev *Device, amaddr uint8, peer, master BDAddr) *Link {
+	return &Link{
+		dev:        dev,
+		AMAddr:     amaddr,
+		Peer:       peer,
+		Master:     master,
+		sel:        hop.NewSelector(master.Addr28()),
+		PacketType: packet.TypeDM1,
+		mode:       ModeActive,
+		createdAt:  dev.now(),
+	}
+}
+
+// Mode returns the link's current power mode.
+func (l *Link) Mode() Mode { return l.mode }
+
+// QueueLen reports how many upper-layer messages wait for transmission.
+func (l *Link) QueueLen() int {
+	n := len(l.txq)
+	if l.pending != nil {
+		n++
+	}
+	return n
+}
+
+// Send queues an upper-layer payload. Payloads longer than the packet
+// type's capacity are split into maximal chunks.
+func (l *Link) Send(data []byte, llid uint8) {
+	maxLen := l.PacketType.MaxPayload()
+	for len(data) > maxLen {
+		l.txq = append(l.txq, outMsg{data: append([]byte(nil), data[:maxLen]...), llid: llid})
+		data = data[maxLen:]
+		llid = LLIDContinue(llid)
+	}
+	l.txq = append(l.txq, outMsg{data: append([]byte(nil), data...), llid: llid})
+}
+
+// LLIDContinue maps a start LLID to its continuation value.
+func LLIDContinue(llid uint8) uint8 {
+	if llid == packet.LLIDL2CAPStart {
+		return packet.LLIDL2CAPContinue
+	}
+	return llid
+}
+
+// hasTraffic reports whether a data transmission is wanted.
+func (l *Link) hasTraffic() bool { return l.pending != nil || len(l.txq) > 0 }
+
+// nextPacket builds the next baseband packet for this link: a
+// retransmission, fresh data, or the idle packet (POLL for the master,
+// NULL for a slave). The ARQN bit always reflects the last reception.
+func (l *Link) nextPacket(master bool) *packet.Packet {
+	h := &packet.Header{AMAddr: l.AMAddr, ARQN: l.arqnOut}
+	if l.pending == nil && len(l.txq) > 0 {
+		msg := l.txq[0]
+		l.txq = l.txq[1:]
+		l.pending = &msg
+		l.pendingSent = false
+		l.seqnOut = !l.seqnOut
+	}
+	if l.pending != nil {
+		if l.pendingSent {
+			l.dev.Counters.Retransmits++
+		}
+		l.pendingSent = true
+		h.Type = l.PacketType
+		h.SEQN = l.seqnOut
+		l.TxData++
+		return &packet.Packet{
+			AccessLAP: l.Master.LAP,
+			Header:    h,
+			Payload:   l.pending.data,
+			LLID:      l.pending.llid,
+		}
+	}
+	if master {
+		h.Type = packet.TypePoll
+	} else {
+		h.Type = packet.TypeNull
+	}
+	return &packet.Packet{AccessLAP: l.Master.LAP, Header: h}
+}
+
+// processRx updates ARQ state from a received header and reports whether
+// the payload (if any) is new (not a duplicate).
+func (l *Link) processRx(h *packet.Header, hasPayload bool) (deliver bool) {
+	if h.ARQN && l.pending != nil {
+		l.pending = nil // acknowledged
+	}
+	if !hasPayload {
+		return false
+	}
+	if l.seqnInValid && h.SEQN == l.seqnIn {
+		l.dev.Counters.DupsFiltered++
+		l.arqnOut = true // ack again; the peer missed our ack
+		return false
+	}
+	l.seqnIn = h.SEQN
+	l.seqnInValid = true
+	l.arqnOut = true
+	l.RxData++
+	return true
+}
+
+// rxFailed records a failed reception: the next outgoing ARQN is NAK.
+func (l *Link) rxFailed() { l.arqnOut = false }
+
+// inSniffWindow reports whether the even-slot index lies inside the
+// link's sniff anchor window.
+func (l *Link) inSniffWindow(evenSlotIdx uint32) bool {
+	period := uint32(l.sniffT / 2) // even slots per Tsniff
+	if period == 0 {
+		return true
+	}
+	pos := (evenSlotIdx - uint32(l.sniffOffset)) % period
+	return pos < uint32(l.sniffAttempt)
+}

@@ -1,0 +1,245 @@
+package baseband
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// voicePair connects a pair and installs a symmetric SCO channel with
+// counting sources/sinks on both ends.
+func voicePair(t *testing.T, ber float64, ty packet.Type, tsco int) (r *rig, m, s *Device, msco, ssco *SCOLink) {
+	t.Helper()
+	r = newRig(ber)
+	m = r.device("master", 0x3A3A01, 0)
+	s = r.device("slave", 0x4B4B02, 7777)
+	ml, _ := connectPair(t, r, m, s)
+	msco = m.AddSCO(ml, ty, tsco, 0)
+	ssco = s.AcceptSCO(ty, tsco, 0)
+	return r, m, s, msco, ssco
+}
+
+func TestSCOFullDuplexVoice(t *testing.T) {
+	r, _, _, msco, ssco := voicePair(t, 0, packet.TypeHV3, 6)
+	seqM, seqS := byte(0), byte(0)
+	msco.Source = func() []byte {
+		seqM++
+		f := make([]byte, 30)
+		f[0] = seqM
+		return f
+	}
+	ssco.Source = func() []byte {
+		seqS++
+		f := make([]byte, 30)
+		f[0] = seqS
+		return f
+	}
+	var masterHeard, slaveHeard []byte
+	msco.Sink = func(f []byte) { masterHeard = append(masterHeard, f[0]) }
+	ssco.Sink = func(f []byte) { slaveHeard = append(slaveHeard, f[0]) }
+
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(600)))
+
+	// 600 slots at Tsco=6: 100 reservations each way.
+	if msco.TxFrames < 95 || ssco.TxFrames < 95 {
+		t.Fatalf("tx frames: master %d slave %d, want ~100", msco.TxFrames, ssco.TxFrames)
+	}
+	if len(slaveHeard) < 95 || len(masterHeard) < 95 {
+		t.Fatalf("heard: master %d slave %d, want ~100", len(masterHeard), len(slaveHeard))
+	}
+	// Voice must arrive in order (no retransmission, no duplication).
+	for i := 1; i < len(slaveHeard); i++ {
+		if slaveHeard[i] != slaveHeard[i-1]+1 {
+			t.Fatalf("slave voice out of order at %d: %v", i, slaveHeard[i-3:i+1])
+		}
+	}
+}
+
+func TestSCOPeriodsRespected(t *testing.T) {
+	for _, c := range []struct {
+		ty   packet.Type
+		tsco int
+	}{
+		{packet.TypeHV1, 2}, {packet.TypeHV2, 4}, {packet.TypeHV3, 6},
+	} {
+		r, _, _, msco, ssco := voicePair(t, 0, c.ty, c.tsco)
+		run := uint64(300)
+		r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(run)))
+		want := int(run) / c.tsco
+		if msco.TxFrames < want-3 || msco.TxFrames > want+3 {
+			t.Fatalf("%v Tsco=%d: %d frames in %d slots, want ~%d",
+				c.ty, c.tsco, msco.TxFrames, run, want)
+		}
+		if ssco.RxFrames < want-3 {
+			t.Fatalf("%v: slave received %d frames, want ~%d", c.ty, ssco.RxFrames, want)
+		}
+	}
+}
+
+func TestSCOCoexistsWithACLData(t *testing.T) {
+	r, m, s, msco, ssco := voicePair(t, 0, packet.TypeHV3, 6)
+	_ = msco
+	got := 0
+	s.OnData = func(l *Link, p []byte, llid uint8) { got += len(p) }
+	ml := m.Links()[ssco.ACL.AMAddr]
+	// Multi-slot data must defer to voice reservations but still flow.
+	ml.PacketType = packet.TypeDM3
+	ml.Send(make([]byte, 500), packet.LLIDL2CAPStart)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(1500)))
+	if got != 500 {
+		t.Fatalf("ACL delivered %d/500 bytes alongside SCO", got)
+	}
+	if msco.RxFrames == 0 {
+		t.Fatal("voice starved by data")
+	}
+}
+
+func TestSCOVoiceRobustnessOrdering(t *testing.T) {
+	// Voice quality under noise: the metric is the fraction of frames
+	// that arrive bit-perfect. HV3 has no protection, so it "delivers"
+	// corrupted audio; HV2 erases frames its Hamming code cannot fix;
+	// HV1's repetition code shrugs the noise off.
+	const ber = 1.0 / 150
+	good := map[packet.Type]float64{}
+	for _, c := range []struct {
+		ty   packet.Type
+		tsco int
+	}{
+		{packet.TypeHV1, 6}, {packet.TypeHV2, 6}, {packet.TypeHV3, 6},
+	} {
+		r, _, _, msco, ssco := voicePair(t, ber, c.ty, c.tsco)
+		msco.Source = func() []byte {
+			f := make([]byte, c.ty.MaxPayload())
+			for i := range f {
+				f[i] = 0xA5
+			}
+			return f
+		}
+		perfect := 0
+		ssco.Sink = func(f []byte) {
+			for _, b := range f {
+				if b != 0xA5 {
+					return
+				}
+			}
+			perfect++
+		}
+		r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(3000)))
+		if msco.TxFrames == 0 {
+			t.Fatalf("%v: nothing sent", c.ty)
+		}
+		good[c.ty] = float64(perfect) / float64(msco.TxFrames)
+	}
+	if good[packet.TypeHV1] < good[packet.TypeHV2] ||
+		good[packet.TypeHV2] < good[packet.TypeHV3] {
+		t.Fatalf("quality ordering violated: HV1=%.2f HV2=%.2f HV3=%.2f",
+			good[packet.TypeHV1], good[packet.TypeHV2], good[packet.TypeHV3])
+	}
+	if good[packet.TypeHV1] < 0.9 {
+		t.Fatalf("HV1 quality %.2f too low at BER 1/150", good[packet.TypeHV1])
+	}
+	if good[packet.TypeHV3] > 0.6 {
+		t.Fatalf("HV3 quality %.2f implausibly high at BER 1/150", good[packet.TypeHV3])
+	}
+}
+
+func TestRemoveSCOStopsFrames(t *testing.T) {
+	r, m, s, msco, ssco := voicePair(t, 0, packet.TypeHV3, 6)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(100)))
+	m.RemoveSCO(msco)
+	s.RemoveSCO(ssco)
+	before := msco.TxFrames
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(200)))
+	if msco.TxFrames != before {
+		t.Fatalf("frames still flowing after removal: %d -> %d", before, msco.TxFrames)
+	}
+	if len(m.SCOLinks()) != 0 || len(s.SCOLinks()) != 0 {
+		t.Fatal("SCO link lists not emptied")
+	}
+}
+
+func TestSCOValidation(t *testing.T) {
+	r := newRig(0)
+	m := r.device("m", 0x5C5C01, 0)
+	s := r.device("s", 0x6D6D02, 1)
+	ml, _ := connectPair(t, r, m, s)
+	for name, fn := range map[string]func(){
+		"not a voice type": func() { m.AddSCO(ml, packet.TypeDM1, 6, 0) },
+		"odd Tsco":         func() { m.AddSCO(ml, packet.TypeHV3, 5, 0) },
+		"HV3 too fast":     func() { m.AddSCO(ml, packet.TypeHV3, 4, 0) },
+		"HV2 too fast":     func() { m.AddSCO(ml, packet.TypeHV2, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSupervisionTimeoutOnVanish(t *testing.T) {
+	r := newRig(0)
+	m := r.device("master", 0x7E7E01, 0)
+	s := r.device("slave", 0x8F8F02, 55)
+	// Short supervision budget for the test.
+	m.cfg.SupervisionTimeoutSlots = 400
+	s.cfg.SupervisionTimeoutSlots = 400
+	connectPair(t, r, m, s)
+	var gone []string
+	m.OnDisconnected = func(l *Link, reason string) { gone = append(gone, "master:"+reason) }
+	s.Vanish()
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(1000)))
+	if len(gone) != 1 || gone[0] != "master:supervision timeout" {
+		t.Fatalf("disconnect events = %v", gone)
+	}
+	if len(m.Links()) != 0 {
+		t.Fatal("master kept the dead link")
+	}
+	if m.IsMaster() {
+		t.Fatal("empty piconet must clear the master flag")
+	}
+}
+
+func TestSlaveSupervisionWhenMasterDies(t *testing.T) {
+	r := newRig(0)
+	m := r.device("master", 0x9A9A01, 0)
+	s := r.device("slave", 0xABAB02, 99)
+	m.cfg.SupervisionTimeoutSlots = 400
+	s.cfg.SupervisionTimeoutSlots = 400
+	connectPair(t, r, m, s)
+	var reason string
+	s.OnDisconnected = func(l *Link, r string) { reason = r }
+	m.Vanish()
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(1000)))
+	if reason != "supervision timeout" {
+		t.Fatalf("slave disconnect reason = %q", reason)
+	}
+	if s.MasterLink() != nil || s.State() != StateStandby {
+		t.Fatalf("slave not reset: %v", s.State())
+	}
+}
+
+func TestHoldSuspendsSupervision(t *testing.T) {
+	r := newRig(0)
+	m := r.device("master", 0xBCBC01, 0)
+	s := r.device("slave", 0xCDCD02, 11)
+	m.cfg.SupervisionTimeoutSlots = 300
+	s.cfg.SupervisionTimeoutSlots = 300
+	ml, sl := connectPair(t, r, m, s)
+	var dropped bool
+	m.OnDisconnected = func(l *Link, reason string) { dropped = true }
+	// A hold longer than the supervision budget must not kill the link.
+	ml.EnterHold(600)
+	sl.EnterHold(600)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(1200)))
+	if dropped {
+		t.Fatal("hold triggered a spurious supervision timeout")
+	}
+	if sl.Mode() != ModeActive {
+		t.Fatalf("slave did not return from hold: %v", sl.Mode())
+	}
+}

@@ -1,0 +1,82 @@
+package baseband
+
+import "repro/internal/sim"
+
+// checkSupervision enforces the link supervision timeout: a link whose
+// peer has been silent too long is torn down. Hold periods suspend the
+// check (the silence is negotiated), and a master cannot supervise a
+// parked slave (parked members never transmit).
+func (d *Device) checkSupervision(now sim.Time) {
+	budget := sim.Time(sim.Slots(uint64(d.cfg.SupervisionTimeoutSlots)))
+	if d.isMaster {
+		for _, l := range d.links {
+			if l.mode == ModePark {
+				continue
+			}
+			if l.mode == ModeHold && now < l.holdUntil+budget {
+				continue
+			}
+			ref := l.lastHeardAt
+			if ref == 0 {
+				ref = l.createdAt
+			}
+			if now-ref > budget {
+				d.DropLink(l, "supervision timeout")
+			}
+		}
+		return
+	}
+	l := d.mlink
+	if l == nil {
+		return
+	}
+	if l.mode == ModeHold && now < l.holdUntil+budget {
+		return
+	}
+	ref := l.lastHeardAt
+	if ref == 0 {
+		ref = l.createdAt
+	}
+	if now-ref > budget {
+		d.DropLink(l, "supervision timeout")
+	}
+}
+
+// DropLink tears a link down locally (the peer discovers the loss via
+// its own supervision timeout) and reports the reason upward.
+func (d *Device) DropLink(l *Link, reason string) {
+	if d.isMaster {
+		if d.links[l.AMAddr] != l {
+			return
+		}
+		delete(d.links, l.AMAddr)
+		if len(d.links) == 0 {
+			d.isMaster = false
+			d.setState(StateStandby)
+			d.rxOffForce()
+		}
+	} else {
+		if d.mlink != l {
+			return
+		}
+		d.mlink = nil
+		d.Clock.DropSync()
+		d.setState(StateStandby)
+		d.rxOffForce()
+	}
+	if d.OnDisconnected != nil {
+		d.OnDisconnected(l, reason)
+	}
+}
+
+// Vanish makes the device disappear from the air instantly (battery
+// pulled): all links drop without notifying anyone, the radio dies.
+// Peers discover the loss through their supervision timeouts — the
+// failure-injection hook used by the robustness tests.
+func (d *Device) Vanish() {
+	d.setState(StateStandby)
+	d.rxOffForce()
+	d.isMaster = false
+	d.links = make(map[uint8]*Link)
+	d.mlink = nil
+}

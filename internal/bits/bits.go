@@ -1,0 +1,192 @@
+// Package bits provides the bit-level data types shared by the coding,
+// packet and channel layers: dense bit vectors in on-air (LSB-first)
+// order and the four-valued logic the paper's channel resolver uses
+// (0, 1, Z for a silent wire, X for a collision).
+package bits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Logic is a four-valued channel symbol.
+type Logic uint8
+
+// The four channel symbol values from the paper's Fig. 2 channel model.
+const (
+	L0 Logic = iota // logic zero
+	L1              // logic one
+	LZ              // high impedance: nobody transmitting
+	LX              // undefined: collision between transmitters
+)
+
+// String renders the symbol the way waveform viewers print it.
+func (l Logic) String() string {
+	switch l {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case LZ:
+		return "Z"
+	case LX:
+		return "X"
+	}
+	return "?"
+}
+
+// Resolve implements the channel resolver: combining what two transmitters
+// drive onto the shared medium. Z is the identity; any two driven values
+// collide to X.
+func Resolve(a, b Logic) Logic {
+	switch {
+	case a == LZ:
+		return b
+	case b == LZ:
+		return a
+	default:
+		return LX
+	}
+}
+
+// Vec is a bit vector in transmission order: bit 0 is the first bit on
+// air. Bluetooth transmits each field LSB first, so AppendUint pushes the
+// low-order bit first.
+type Vec struct {
+	bits []uint8 // one byte per bit; 0 or 1
+}
+
+// NewVec returns an empty vector with capacity for n bits.
+func NewVec(n int) *Vec { return &Vec{bits: make([]uint8, 0, n)} }
+
+// FromBools builds a vector from explicit bit values.
+func FromBools(vals ...bool) *Vec {
+	v := NewVec(len(vals))
+	for _, b := range vals {
+		v.AppendBit(boolToBit(b))
+	}
+	return v
+}
+
+func boolToBit(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Len returns the number of bits.
+func (v *Vec) Len() int { return len(v.bits) }
+
+// Bit returns bit i (0 or 1).
+func (v *Vec) Bit(i int) uint8 { return v.bits[i] }
+
+// SetBit overwrites bit i.
+func (v *Vec) SetBit(i int, b uint8) { v.bits[i] = b & 1 }
+
+// FlipBit inverts bit i (the channel's noise model).
+func (v *Vec) FlipBit(i int) { v.bits[i] ^= 1 }
+
+// AppendBit appends one bit.
+func (v *Vec) AppendBit(b uint8) { v.bits = append(v.bits, b&1) }
+
+// AppendUint appends the low n bits of x, LSB first (Bluetooth field
+// order).
+func (v *Vec) AppendUint(x uint64, n int) {
+	for i := 0; i < n; i++ {
+		v.AppendBit(uint8(x >> i))
+	}
+}
+
+// AppendVec appends all bits of o.
+func (v *Vec) AppendVec(o *Vec) { v.bits = append(v.bits, o.bits...) }
+
+// AppendBytes appends bytes LSB-first, in slice order.
+func (v *Vec) AppendBytes(bs []byte) {
+	for _, b := range bs {
+		v.AppendUint(uint64(b), 8)
+	}
+}
+
+// Uint reads n bits starting at offset, LSB first, as an integer.
+// It panics if the range exceeds the vector.
+func (v *Vec) Uint(offset, n int) uint64 {
+	if n > 64 {
+		panic("bits: Uint reads at most 64 bits")
+	}
+	var x uint64
+	for i := 0; i < n; i++ {
+		x |= uint64(v.bits[offset+i]) << i
+	}
+	return x
+}
+
+// Slice returns an independent copy of bits [from, to).
+func (v *Vec) Slice(from, to int) *Vec {
+	out := NewVec(to - from)
+	out.bits = append(out.bits, v.bits[from:to]...)
+	return out
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec { return v.Slice(0, v.Len()) }
+
+// Bytes packs the bits into bytes, LSB-first within each byte; the last
+// byte is zero-padded. This inverts AppendBytes.
+func (v *Vec) Bytes() []byte {
+	out := make([]byte, (len(v.bits)+7)/8)
+	for i, b := range v.bits {
+		out[i/8] |= b << (i % 8)
+	}
+	return out
+}
+
+// HammingDistance counts differing bit positions against o over the first
+// min(len) bits plus the length difference.
+func (v *Vec) HammingDistance(o *Vec) int {
+	n := v.Len()
+	if o.Len() < n {
+		n = o.Len()
+	}
+	d := v.Len() - n + o.Len() - n
+	for i := 0; i < n; i++ {
+		if v.bits[i] != o.bits[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Equal reports whether v and o hold identical bits.
+func (v *Vec) Equal(o *Vec) bool {
+	return v.Len() == o.Len() && v.HammingDistance(o) == 0
+}
+
+// XorInto XORs o into v starting at offset (used by whitening).
+func (v *Vec) XorInto(offset int, o *Vec) {
+	for i := 0; i < o.Len(); i++ {
+		v.bits[offset+i] ^= o.bits[i]
+	}
+}
+
+// String renders the vector as a 0/1 string in air order, grouping
+// nibbles for readability.
+func (v *Vec) String() string {
+	var sb strings.Builder
+	for i, b := range v.bits {
+		if i > 0 && i%4 == 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", b)
+	}
+	return sb.String()
+}
+
+// Ones counts set bits.
+func (v *Vec) Ones() int {
+	n := 0
+	for _, b := range v.bits {
+		n += int(b)
+	}
+	return n
+}

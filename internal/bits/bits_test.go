@@ -1,0 +1,170 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResolveTruthTable(t *testing.T) {
+	cases := []struct {
+		a, b, want Logic
+	}{
+		{LZ, LZ, LZ},
+		{LZ, L0, L0},
+		{LZ, L1, L1},
+		{L0, LZ, L0},
+		{L1, LZ, L1},
+		{L0, L0, LX},
+		{L0, L1, LX},
+		{L1, L1, LX},
+		{LX, LZ, LX},
+		{LX, L1, LX},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.a, c.b); got != c.want {
+			t.Errorf("Resolve(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLogicString(t *testing.T) {
+	if L0.String() != "0" || L1.String() != "1" || LZ.String() != "Z" || LX.String() != "X" {
+		t.Fatal("Logic.String wrong")
+	}
+	if Logic(9).String() != "?" {
+		t.Fatal("invalid logic should print ?")
+	}
+}
+
+func TestAppendUintLSBFirst(t *testing.T) {
+	v := NewVec(8)
+	v.AppendUint(0b1101, 4)
+	want := []uint8{1, 0, 1, 1} // LSB first
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Fatalf("bit %d = %d, want %d (vec %v)", i, v.Bit(i), w, v)
+		}
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(x uint64, shift uint8) bool {
+		n := int(shift%64) + 1
+		v := NewVec(n)
+		v.AppendUint(x, n)
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = (1 << n) - 1
+		}
+		return v.Uint(0, n) == x&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		v := NewVec(len(data) * 8)
+		v.AppendBytes(data)
+		got := v.Bytes()
+		if len(got) != len(data) {
+			return len(data) == 0 && len(got) == 0
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceIsIndependent(t *testing.T) {
+	v := FromBools(true, false, true, true)
+	s := v.Slice(1, 3)
+	s.FlipBit(0)
+	if v.Bit(1) != 0 {
+		t.Fatal("Slice shares storage with parent")
+	}
+	if s.Len() != 2 {
+		t.Fatal("Slice length wrong")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := FromBools(true, false, true)
+	b := FromBools(true, true, true)
+	if d := a.HammingDistance(b); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+	c := FromBools(true)
+	if d := a.HammingDistance(c); d != 2 {
+		t.Fatalf("length-mismatch distance = %d, want 2", d)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal")
+	}
+	if a.Equal(b) {
+		t.Fatal("different vecs reported equal")
+	}
+}
+
+func TestFlipAndXor(t *testing.T) {
+	v := FromBools(false, false, false, false)
+	v.FlipBit(2)
+	if v.Uint(0, 4) != 0b0100 {
+		t.Fatalf("flip wrong: %v", v)
+	}
+	mask := FromBools(true, true)
+	v.XorInto(1, mask)
+	if v.Bit(1) != 1 || v.Bit(2) != 0 {
+		t.Fatalf("xor wrong: %v", v)
+	}
+}
+
+func TestOnesAndString(t *testing.T) {
+	v := FromBools(true, false, true, true, true)
+	if v.Ones() != 4 {
+		t.Fatalf("Ones = %d", v.Ones())
+	}
+	if v.String() != "1011 1" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestUintPanicsOver64(t *testing.T) {
+	v := NewVec(80)
+	v.AppendUint(0, 65)
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint(>64) did not panic")
+		}
+	}()
+	v.Uint(0, 65)
+}
+
+// Property: flipping a bit twice restores the vector.
+func TestDoubleFlipIdentity(t *testing.T) {
+	f := func(data []byte, idx uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		v := NewVec(len(data) * 8)
+		v.AppendBytes(data)
+		i := int(idx) % v.Len()
+		orig := v.Clone()
+		v.FlipBit(i)
+		if v.Equal(orig) {
+			return false
+		}
+		v.FlipBit(i)
+		return v.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package btclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCLKNAdvancesEveryHalfSlot(t *testing.T) {
+	c := New(0)
+	if c.CLKN(0) != 0 {
+		t.Fatal("CLKN(0) != 0 with zero phase")
+	}
+	if c.CLKN(sim.HalfSlotTicks) != 1 {
+		t.Fatal("CLKN must increment each 312.5us")
+	}
+	if c.CLKN(sim.HalfSlotTicks-1) != 0 {
+		t.Fatal("CLKN incremented early")
+	}
+	if c.CLKN(sim.SlotTicks*10) != 20 {
+		t.Fatal("10 slots must be 20 CLKN ticks")
+	}
+}
+
+func TestPhaseWrap(t *testing.T) {
+	c := New(Mask) // starts at max value
+	if c.CLKN(0) != Mask {
+		t.Fatal("phase not applied")
+	}
+	if c.CLKN(sim.HalfSlotTicks) != 0 {
+		t.Fatal("CLKN must wrap at 2^28")
+	}
+}
+
+func TestSyncToMakesCLKAgree(t *testing.T) {
+	f := func(masterPhase, slavePhase uint32, when uint16) bool {
+		m := New(masterPhase)
+		s := New(slavePhase)
+		t0 := sim.Time(uint64(when) * sim.HalfSlotTicks)
+		s.SyncTo(m.CLK(t0), t0)
+		// After sync, slave CLK tracks master CLK at all future times.
+		for dt := uint64(0); dt < 10; dt++ {
+			ti := t0 + sim.Time(dt*sim.SlotTicks)
+			if s.CLK(ti) != m.CLK(ti) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropSync(t *testing.T) {
+	s := New(5)
+	s.SetOffset(100)
+	if s.Offset() != 100 {
+		t.Fatal("offset not set")
+	}
+	if s.CLK(0) != 105 {
+		t.Fatalf("CLK = %d, want 105", s.CLK(0))
+	}
+	s.DropSync()
+	if s.CLK(0) != s.CLKN(0) {
+		t.Fatal("DropSync must restore CLK == CLKN")
+	}
+}
+
+func TestNextTickTime(t *testing.T) {
+	c := New(0)
+	// From t=1 (mid first half-slot), the next CLKN ≡ 0 (mod 4) is CLKN=4.
+	got := c.NextTickTime(1, 4, 0)
+	if got != sim.Time(4*sim.HalfSlotTicks) {
+		t.Fatalf("NextTickTime = %v, want %v", got, sim.Time(4*sim.HalfSlotTicks))
+	}
+	// Exactly on a satisfying boundary: stays there.
+	at := sim.Time(8 * sim.HalfSlotTicks)
+	if c.NextTickTime(at, 4, 0) != at {
+		t.Fatal("NextTickTime must not skip a satisfying boundary")
+	}
+	// Master TX slots: CLKN ≡ 0 (mod 4); from one, the next is 4 ticks on.
+	if c.NextTickTime(at+1, 4, 0) != at+sim.Time(4*sim.HalfSlotTicks) {
+		t.Fatal("NextTickTime from just past a boundary wrong")
+	}
+}
+
+func TestNextTickTimeResidues(t *testing.T) {
+	c := New(3) // phase offsets the residues
+	tt := c.NextTickTime(0, 4, 2)
+	if c.CLKN(tt)%4 != 2 {
+		t.Fatalf("NextTickTime landed on CLKN %d (mod 4 = %d)", c.CLKN(tt), c.CLKN(tt)%4)
+	}
+	if uint64(tt)%sim.HalfSlotTicks != 0 {
+		t.Fatal("NextTickTime must land on a CLKN boundary")
+	}
+}
+
+func TestNextTickTimePanicsOnBadModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two modulus did not panic")
+		}
+	}()
+	New(0).NextTickTime(0, 3, 0)
+}
+
+func TestEstimate(t *testing.T) {
+	owner := New(1000)
+	targetCLKN := uint32(5000)
+	e := Estimate(owner, targetCLKN, 0, 0)
+	if e.CLKE(0) != 5000 {
+		t.Fatalf("CLKE(0) = %d", e.CLKE(0))
+	}
+	// The estimate advances in lockstep with real time.
+	if e.CLKE(sim.HalfSlotTicks*7) != 5007 {
+		t.Fatalf("CLKE after 7 ticks = %d", e.CLKE(sim.HalfSlotTicks*7))
+	}
+	// An estimate error shifts the view.
+	e2 := Estimate(owner, targetCLKN, 0, -2)
+	if e2.CLKE(0) != 4998 {
+		t.Fatalf("CLKE with error = %d", e2.CLKE(0))
+	}
+}
+
+func TestSlotStart(t *testing.T) {
+	c := New(0)
+	if !c.SlotStart(0) {
+		t.Fatal("t=0 is a slot start for phase 0")
+	}
+	if c.SlotStart(sim.HalfSlotTicks) {
+		t.Fatal("half-slot boundary is not a slot start")
+	}
+	odd := New(1)
+	if odd.SlotStart(0) {
+		t.Fatal("odd phase at t=0 is mid-slot")
+	}
+}

@@ -1,0 +1,276 @@
+// Package channel models the shared radio medium exactly as the paper's
+// Fig. 2 does: a digital module connecting every device, emulating
+// (a) channel noise as random inversions of on-air bits, (b) the
+// modulator/demodulator delay, and (c) collisions — when two devices
+// transmit overlapping in time on the same RF channel the resolver
+// forces the received value to the undefined symbol 'X' and receivers
+// drop the packet. A device that is not transmitting leaves the wire in
+// high impedance 'Z'; frequency selectivity comes from the FHSS model:
+// a receiver only hears transmissions on the channel it is tuned to.
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/hop"
+	"repro/internal/sim"
+)
+
+// Transmission describes one packet on the air.
+type Transmission struct {
+	From     string   // transmitter name, for logs and stats
+	Freq     int      // RF channel 0..78
+	Start    sim.Time // first bit leaves the antenna
+	End      sim.Time // last bit (excluding demodulator delay)
+	Bits     *bits.Vec
+	Meta     any  // opaque annotation (packet type) for stats/logs
+	collided bool // set when another transmission overlapped on Freq
+}
+
+// Duration returns the on-air time.
+func (t *Transmission) Duration() sim.Duration { return sim.Duration(t.End - t.Start) }
+
+// Listener is a tuned receiver. RxStart fires (after the demodulator
+// delay) when a packet begins on the tuned frequency, letting the
+// baseband keep its RF window open to packet end; RxEnd delivers the
+// (noise-corrupted) bits or reports a collision.
+type Listener interface {
+	Name() string
+	RxStart(tx *Transmission)
+	RxEnd(tx *Transmission, rx *bits.Vec, collided bool)
+}
+
+// Stats counts channel-level events for the experiment reports.
+type Stats struct {
+	Transmissions int
+	Deliveries    int
+	Collisions    int // transmissions corrupted by overlap
+	FlippedBits   int // total noise-inverted bits delivered
+	Jammed        int // transmissions destroyed by static interferers
+}
+
+// Config sets the channel's physical parameters.
+type Config struct {
+	// BER is the bit error rate: probability each delivered bit is
+	// inverted. The paper sweeps 1/100 .. 1/30.
+	BER float64
+	// Delay models the modulator+demodulator latency applied to
+	// delivery times.
+	Delay sim.Duration
+}
+
+// Jammer is a static interferer (an 802.11 network parked on part of
+// the ISM band): transmissions on its channels are corrupted with the
+// given probability. This is the coexistence scenario of the paper's
+// references [3-5] and the motivation for the v1.2 AFH extension.
+type Jammer struct {
+	LoChannel int
+	HiChannel int
+	Duty      float64 // probability a hit transmission is destroyed
+}
+
+// Channel is the shared medium.
+type Channel struct {
+	k   *sim.Kernel
+	rng *sim.Rand
+	cfg Config
+
+	tuned   map[Listener]*tuneState
+	active  []*Transmission
+	jammers []Jammer
+	stats   Stats
+}
+
+type tuneState struct {
+	freq  int
+	since sim.Time
+	busy  *Transmission // packet currently being received
+}
+
+// New creates a channel on the kernel with its own noise RNG stream.
+func New(k *sim.Kernel, rng *sim.Rand, cfg Config) *Channel {
+	if cfg.BER < 0 || cfg.BER >= 1 {
+		panic(fmt.Sprintf("channel: BER %v out of [0,1)", cfg.BER))
+	}
+	return &Channel{k: k, rng: rng, cfg: cfg, tuned: make(map[Listener]*tuneState)}
+}
+
+// Stats returns a copy of the counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// SetBER changes the bit error rate mid-simulation (used by sweeps).
+func (c *Channel) SetBER(ber float64) {
+	if ber < 0 || ber >= 1 {
+		panic(fmt.Sprintf("channel: BER %v out of [0,1)", ber))
+	}
+	c.cfg.BER = ber
+}
+
+// AddJammer installs a static interferer over channels [lo, hi].
+func (c *Channel) AddJammer(lo, hi int, duty float64) {
+	if lo < 0 || hi >= hop.NumChannels || lo > hi {
+		panic(fmt.Sprintf("channel: jammer range %d..%d invalid", lo, hi))
+	}
+	if duty < 0 || duty > 1 {
+		panic(fmt.Sprintf("channel: jammer duty %v invalid", duty))
+	}
+	c.jammers = append(c.jammers, Jammer{LoChannel: lo, HiChannel: hi, Duty: duty})
+}
+
+// ClearJammers removes all static interferers.
+func (c *Channel) ClearJammers() { c.jammers = nil }
+
+// jammed decides whether a transmission on freq is destroyed by an
+// interferer.
+func (c *Channel) jammed(freq int) bool {
+	for _, j := range c.jammers {
+		if freq >= j.LoChannel && freq <= j.HiChannel && c.rng.Bool(j.Duty) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tune points l's receiver at freq from the current instant. Retuning
+// while a packet is mid-air on the old frequency abandons that packet.
+func (c *Channel) Tune(l Listener, freq int) {
+	if freq < 0 || freq >= hop.NumChannels {
+		panic(fmt.Sprintf("channel: freq %d out of range", freq))
+	}
+	st := c.tuned[l]
+	if st == nil {
+		st = &tuneState{}
+		c.tuned[l] = st
+	} else if st.freq == freq {
+		return // already there; keep the original since-time
+	}
+	st.freq = freq
+	st.since = c.k.Now()
+	st.busy = nil
+}
+
+// Untune stops l's receiver.
+func (c *Channel) Untune(l Listener) { delete(c.tuned, l) }
+
+// Tuned reports the frequency l listens on, or -1.
+func (c *Channel) Tuned(l Listener) int {
+	if st, ok := c.tuned[l]; ok {
+		return st.freq
+	}
+	return -1
+}
+
+// Transmit puts v on the air at freq from device `from` (which may also
+// be a Listener; it never hears itself). Delivery happens at the end of
+// the packet plus the demodulator delay, to every listener that was
+// already tuned to freq when the first bit arrived and stayed tuned.
+func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transmission {
+	if v.Len() == 0 {
+		panic("channel: empty transmission")
+	}
+	now := c.k.Now()
+	tx := &Transmission{
+		From:  from,
+		Freq:  freq,
+		Start: now,
+		End:   now + sim.Time(v.Len()*sim.BitTicks),
+		Bits:  v,
+		Meta:  meta,
+	}
+	c.stats.Transmissions++
+	if c.jammed(freq) {
+		tx.collided = true
+		c.stats.Jammed++
+	}
+
+	// Collision resolution: any active transmission overlapping on the
+	// same frequency corrupts both (the resolver drives 'X').
+	for _, other := range c.active {
+		if other.End > now && other.Freq == freq {
+			if !other.collided {
+				c.stats.Collisions++
+			}
+			if !tx.collided {
+				c.stats.Collisions++
+			}
+			other.collided = true
+			tx.collided = true
+		}
+	}
+	c.pruneActive(now)
+	c.active = append(c.active, tx)
+
+	// Snapshot eligible receivers now; they must remain tuned through the
+	// end to actually receive (checked again at delivery). A receiver
+	// already locked onto an earlier packet stays with it — a colliding
+	// newcomer corrupts that packet rather than hijacking the correlator,
+	// and at an exact end/start boundary the turnaround is a miss.
+	eligible := make([]Listener, 0, len(c.tuned))
+	for l, st := range c.tuned {
+		if st.freq == freq && st.since <= now && st.busy == nil && l.Name() != from {
+			eligible = append(eligible, l)
+			st.busy = tx
+		}
+	}
+	// Deterministic order regardless of map iteration.
+	sortListeners(eligible)
+
+	c.k.Schedule(c.cfg.Delay, func() {
+		for _, l := range eligible {
+			if st, ok := c.tuned[l]; ok && st.busy == tx {
+				l.RxStart(tx)
+			}
+		}
+	})
+	c.k.Schedule(sim.Duration(tx.End-now)+c.cfg.Delay, func() {
+		for _, l := range eligible {
+			st, ok := c.tuned[l]
+			if !ok || st.busy != tx || st.freq != freq {
+				continue // retuned or stopped mid-packet
+			}
+			st.busy = nil
+			if tx.collided {
+				l.RxEnd(tx, nil, true)
+				continue
+			}
+			c.stats.Deliveries++
+			l.RxEnd(tx, c.corrupt(tx.Bits), false)
+		}
+	})
+	return tx
+}
+
+// corrupt applies the BER to a copy of the transmitted bits.
+func (c *Channel) corrupt(v *bits.Vec) *bits.Vec {
+	out := v.Clone()
+	if c.cfg.BER == 0 {
+		return out
+	}
+	for i := 0; i < out.Len(); i++ {
+		if c.rng.Bool(c.cfg.BER) {
+			out.FlipBit(i)
+			c.stats.FlippedBits++
+		}
+	}
+	return out
+}
+
+func (c *Channel) pruneActive(now sim.Time) {
+	kept := c.active[:0]
+	for _, t := range c.active {
+		if t.End > now {
+			kept = append(kept, t)
+		}
+	}
+	c.active = kept
+}
+
+// sortListeners orders by name for reproducibility.
+func sortListeners(ls []Listener) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Name() < ls[j-1].Name(); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

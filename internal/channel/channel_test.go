@@ -1,0 +1,306 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/sim"
+)
+
+type fakeRx struct {
+	name     string
+	started  []*Transmission
+	got      []*bits.Vec
+	collided int
+	onStart  func(tx *Transmission)
+}
+
+func (f *fakeRx) Name() string { return f.name }
+func (f *fakeRx) RxStart(tx *Transmission) {
+	f.started = append(f.started, tx)
+	if f.onStart != nil {
+		f.onStart(tx)
+	}
+}
+func (f *fakeRx) RxEnd(tx *Transmission, rx *bits.Vec, collided bool) {
+	if collided {
+		f.collided++
+		return
+	}
+	f.got = append(f.got, rx)
+}
+
+func vec(n int) *bits.Vec {
+	v := bits.NewVec(n)
+	for i := 0; i < n; i++ {
+		v.AppendBit(uint8(i) & 1)
+	}
+	return v
+}
+
+func setup(ber float64, delay sim.Duration) (*sim.Kernel, *Channel) {
+	k := sim.NewKernel()
+	return k, New(k, sim.NewRand(77), Config{BER: ber, Delay: delay})
+}
+
+func TestCleanDelivery(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "slave"}
+	c.Tune(rx, 10)
+	sent := vec(100)
+	k.Schedule(5, func() { c.Transmit("master", 10, sent, nil) })
+	k.Run()
+	if len(rx.got) != 1 || !rx.got[0].Equal(sent) {
+		t.Fatalf("delivery failed: %d packets", len(rx.got))
+	}
+	if len(rx.started) != 1 {
+		t.Fatal("RxStart not signalled")
+	}
+	if k.Now() != 5+100*sim.BitTicks {
+		t.Fatalf("delivery time %v", k.Now())
+	}
+	if c.Stats().Deliveries != 1 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestWrongFrequencyNotHeard(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "slave"}
+	c.Tune(rx, 11)
+	k.Schedule(0, func() { c.Transmit("master", 10, vec(50), nil) })
+	k.Run()
+	if len(rx.got) != 0 || len(rx.started) != 0 {
+		t.Fatal("received on wrong frequency")
+	}
+}
+
+func TestLateTunerMissesPacket(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "slave"}
+	k.Schedule(0, func() { c.Transmit("master", 10, vec(100), nil) })
+	k.Schedule(10, func() { c.Tune(rx, 10) }) // mid-packet: missed sync word
+	k.Run()
+	if len(rx.got) != 0 {
+		t.Fatal("late tuner must not receive")
+	}
+}
+
+func TestRetuneMidPacketAbandons(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "slave"}
+	c.Tune(rx, 10)
+	k.Schedule(0, func() { c.Transmit("master", 10, vec(100), nil) })
+	k.Schedule(50, func() { c.Tune(rx, 20) })
+	k.Run()
+	if len(rx.got) != 0 {
+		t.Fatal("retuned receiver must abandon the packet")
+	}
+}
+
+func TestUntuneMidPacketAbandons(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "slave"}
+	c.Tune(rx, 10)
+	k.Schedule(0, func() { c.Transmit("master", 10, vec(100), nil) })
+	k.Schedule(50, func() { c.Untune(rx) })
+	k.Run()
+	if len(rx.got) != 0 {
+		t.Fatal("untuned receiver must abandon the packet")
+	}
+}
+
+func TestTransmitterDoesNotHearItself(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "master"}
+	c.Tune(rx, 10)
+	k.Schedule(0, func() { c.Transmit("master", 10, vec(40), nil) })
+	k.Run()
+	if len(rx.got) != 0 {
+		t.Fatal("device heard its own transmission")
+	}
+}
+
+func TestCollisionCorruptsBoth(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "observer"}
+	c.Tune(rx, 10)
+	k.Schedule(0, func() { c.Transmit("a", 10, vec(200), nil) })
+	k.Schedule(100, func() { c.Transmit("b", 10, vec(200), nil) })
+	k.Run()
+	if len(rx.got) != 0 {
+		t.Fatalf("collided packets delivered clean: %d", len(rx.got))
+	}
+	// The receiver was locked onto packet a; it observes one garbled
+	// reception (the collision), not two.
+	if rx.collided != 1 {
+		t.Fatalf("collided deliveries = %d, want 1", rx.collided)
+	}
+	if c.Stats().Collisions != 2 {
+		t.Fatalf("collision count = %d (both transmissions corrupted)", c.Stats().Collisions)
+	}
+}
+
+func TestNoCollisionAcrossFrequencies(t *testing.T) {
+	k, c := setup(0, 0)
+	rx1 := &fakeRx{name: "r1"}
+	rx2 := &fakeRx{name: "r2"}
+	c.Tune(rx1, 10)
+	c.Tune(rx2, 20)
+	k.Schedule(0, func() { c.Transmit("a", 10, vec(200), nil) })
+	k.Schedule(100, func() { c.Transmit("b", 20, vec(200), nil) })
+	k.Run()
+	if len(rx1.got) != 1 || len(rx2.got) != 1 {
+		t.Fatal("FHSS must isolate different channels")
+	}
+}
+
+func TestNoCollisionSequential(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 5)
+	k.Schedule(0, func() { c.Transmit("a", 5, vec(50), nil) })
+	// 50 bits end at tick 100; a transmission at the exact boundary does
+	// not collide, but the receiver is still in turnaround and misses it.
+	k.Schedule(100, func() { c.Transmit("b", 5, vec(50), nil) })
+	k.Run()
+	if rx.collided != 0 {
+		t.Fatalf("boundary packets collided: %d", rx.collided)
+	}
+	if len(rx.got) != 1 {
+		t.Fatalf("got %d packets, want 1 (a only; b lost to turnaround)", len(rx.got))
+	}
+}
+
+func TestSequentialWithGapBothReceived(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 5)
+	k.Schedule(0, func() { c.Transmit("a", 5, vec(50), nil) })
+	k.Schedule(102, func() { c.Transmit("b", 5, vec(50), nil) })
+	k.Run()
+	if rx.collided != 0 || len(rx.got) != 2 {
+		t.Fatalf("gapped packets: got %d, collided %d, want 2/0", len(rx.got), rx.collided)
+	}
+}
+
+func TestDelayShiftsDelivery(t *testing.T) {
+	k, c := setup(0, sim.Microseconds(5))
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 0)
+	var deliveredAt sim.Time
+	k.Schedule(0, func() { c.Transmit("a", 0, vec(10), nil) })
+	k.Schedule(0, func() {}) // keep kernel busy at 0
+	k.Run()
+	deliveredAt = k.Now()
+	want := sim.Time(10*sim.BitTicks) + sim.Time(sim.Microseconds(5))
+	if deliveredAt != want {
+		t.Fatalf("delivery at %v, want %v", deliveredAt, want)
+	}
+	if len(rx.got) != 1 {
+		t.Fatal("not delivered")
+	}
+}
+
+func TestBERFlipsExpectedFraction(t *testing.T) {
+	k, c := setup(0.02, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 0)
+	const bitsPerPkt, pkts = 1000, 200
+	for i := 0; i < pkts; i++ {
+		at := sim.Time(uint64(i) * 3000 * sim.BitTicks)
+		k.At(at, func() { c.Transmit("a", 0, vec(bitsPerPkt), nil) })
+	}
+	k.Run()
+	if len(rx.got) != pkts {
+		t.Fatalf("deliveries = %d", len(rx.got))
+	}
+	flipped := c.Stats().FlippedBits
+	want := 0.02 * bitsPerPkt * pkts
+	if float64(flipped) < want*0.8 || float64(flipped) > want*1.2 {
+		t.Fatalf("flipped %d bits, want about %.0f", flipped, want)
+	}
+}
+
+func TestZeroBERNeverFlips(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 0)
+	sent := vec(500)
+	k.Schedule(0, func() { c.Transmit("a", 0, sent, nil) })
+	k.Run()
+	if !rx.got[0].Equal(sent) {
+		t.Fatal("zero BER corrupted bits")
+	}
+	if rx.got[0] == sent {
+		t.Fatal("delivered vector must be a copy, not the sender's buffer")
+	}
+}
+
+func TestMultipleListenersAllReceive(t *testing.T) {
+	k, c := setup(0, 0)
+	rxs := []*fakeRx{{name: "b"}, {name: "a"}, {name: "c"}}
+	for _, r := range rxs {
+		c.Tune(r, 3)
+	}
+	k.Schedule(0, func() { c.Transmit("m", 3, vec(30), nil) })
+	k.Run()
+	for _, r := range rxs {
+		if len(r.got) != 1 {
+			t.Fatalf("%s missed the broadcast", r.name)
+		}
+	}
+}
+
+func TestTuneIdempotentKeepsSince(t *testing.T) {
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 7)
+	k.Schedule(0, func() { c.Transmit("m", 7, vec(100), nil) })
+	// Re-tuning to the same frequency mid-packet must not reset the
+	// since-time (the receiver never left the channel).
+	k.Schedule(50, func() { c.Tune(rx, 7) })
+	k.Run()
+	if len(rx.got) != 1 {
+		t.Fatal("idempotent Tune dropped an in-flight packet")
+	}
+	if c.Tuned(rx) != 7 {
+		t.Fatal("Tuned() wrong")
+	}
+	c.Untune(rx)
+	if c.Tuned(rx) != -1 {
+		t.Fatal("Tuned() after Untune wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	k, c := setup(0, 0)
+	for name, fn := range map[string]func(){
+		"bad freq":  func() { c.Tune(&fakeRx{name: "x"}, 79) },
+		"empty tx":  func() { c.Transmit("a", 0, bits.NewVec(0), nil) },
+		"bad BER":   func() { c.SetBER(1.5) },
+		"bad BER 2": func() { New(k, sim.NewRand(1), Config{BER: -0.1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTransmissionAccessors(t *testing.T) {
+	k, c := setup(0, 0)
+	var tx *Transmission
+	k.Schedule(3, func() { tx = c.Transmit("m", 1, vec(10), "meta") })
+	k.Run()
+	if tx.Duration() != 10*sim.BitTicks {
+		t.Fatalf("duration = %v", tx.Duration())
+	}
+	if tx.Meta != "meta" || tx.From != "m" || tx.Freq != 1 {
+		t.Fatal("metadata wrong")
+	}
+}

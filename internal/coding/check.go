@@ -1,0 +1,83 @@
+package coding
+
+import "repro/internal/bits"
+
+// hecGen is the HEC generator polynomial g(D) = D^8 + D^7 + D^5 + D^2 +
+// D + 1 (Bluetooth 1.2 part B §7.1.1), coefficients of D^0..D^7 in the
+// low bits; the D^8 term is implicit in the shift-out.
+const hecGen = 0b10100111
+
+// HEC computes the 8-bit header error check over the 10 header bits,
+// with the LFSR initialised to the device's UAP, exactly as the link
+// controller does before FEC-1/3 encoding the header.
+func HEC(header *bits.Vec, uap uint8) uint8 {
+	reg := uap
+	for i := 0; i < header.Len(); i++ {
+		msb := (reg >> 7) & 1
+		reg <<= 1
+		if msb^header.Bit(i) == 1 {
+			reg ^= hecGen
+		}
+	}
+	return reg
+}
+
+// CheckHEC recomputes the HEC and compares.
+func CheckHEC(header *bits.Vec, uap, got uint8) bool {
+	return HEC(header, uap) == got
+}
+
+// crcGen is the CRC-16 CCITT generator D^16 + D^12 + D^5 + 1.
+const crcGen = 0x1021
+
+// CRC16 computes the payload CRC with the register preset to UAP in the
+// high byte (Bluetooth 1.2 part B §7.1.2).
+func CRC16(payload *bits.Vec, uap uint8) uint16 {
+	reg := uint16(uap) << 8
+	for i := 0; i < payload.Len(); i++ {
+		msb := uint8(reg >> 15)
+		reg <<= 1
+		if msb^payload.Bit(i) == 1 {
+			reg ^= crcGen
+		}
+	}
+	return reg
+}
+
+// CheckCRC16 recomputes the payload CRC and compares.
+func CheckCRC16(payload *bits.Vec, uap uint8, got uint16) bool {
+	return CRC16(payload, uap) == got
+}
+
+// Whitener is the data-whitening LFSR g(D) = D^7 + D^4 + 1, seeded from
+// the master clock bits CLK6-1 with bit 6 forced to one (Bluetooth 1.2
+// part B §7.2). Whitening is applied to header and payload after
+// HEC/CRC generation and removed before checking, which the symmetric
+// XOR stream gives us for free.
+type Whitener struct {
+	reg uint8 // 7-bit state
+}
+
+// NewWhitener seeds the LFSR from the clock.
+func NewWhitener(clk uint32) *Whitener {
+	seed := uint8(clk>>1)&0x3F | 0x40
+	return &Whitener{reg: seed}
+}
+
+// NextBit returns the next whitening bit.
+func (w *Whitener) NextBit() uint8 {
+	out := (w.reg >> 6) & 1
+	fb := out ^ ((w.reg >> 3) & 1) // taps at D^7 and D^4
+	w.reg = (w.reg<<1 | fb) & 0x7F
+	return out
+}
+
+// Apply XORs the whitening stream over v in place starting at the
+// current LFSR position.
+func (w *Whitener) Apply(v *bits.Vec) {
+	for i := 0; i < v.Len(); i++ {
+		if w.NextBit() == 1 {
+			v.FlipBit(i)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/sim"
+)
+
+func randVec(r *sim.Rand, n int) *bits.Vec {
+	v := bits.NewVec(n)
+	for i := 0; i < n; i++ {
+		v.AppendBit(uint8(r.Uint64()))
+	}
+	return v
+}
+
+func TestFEC13RoundTrip(t *testing.T) {
+	r := sim.NewRand(1)
+	for trial := 0; trial < 50; trial++ {
+		in := randVec(r, 18)
+		enc := EncodeFEC13(in)
+		if enc.Len() != 54 {
+			t.Fatalf("encoded len = %d", enc.Len())
+		}
+		dec, corrected, ok := DecodeFEC13(enc)
+		if !ok || corrected != 0 || !dec.Equal(in) {
+			t.Fatalf("clean round trip failed (ok=%v corrected=%d)", ok, corrected)
+		}
+	}
+}
+
+func TestFEC13CorrectsSingleErrorPerTriple(t *testing.T) {
+	r := sim.NewRand(2)
+	in := randVec(r, 18)
+	enc := EncodeFEC13(in)
+	// Flip exactly one bit in every triple.
+	for i := 0; i < enc.Len(); i += 3 {
+		enc.FlipBit(i + r.Intn(3))
+	}
+	dec, corrected, ok := DecodeFEC13(enc)
+	if !ok || !dec.Equal(in) {
+		t.Fatal("single error per triple not corrected")
+	}
+	if corrected != 18 {
+		t.Fatalf("corrected = %d, want 18", corrected)
+	}
+}
+
+func TestFEC13TwoErrorsFlipBit(t *testing.T) {
+	in := bits.FromBools(false, false)
+	enc := EncodeFEC13(in)
+	enc.FlipBit(0)
+	enc.FlipBit(1)
+	dec, _, ok := DecodeFEC13(enc)
+	if !ok {
+		t.Fatal("decode refused")
+	}
+	if dec.Bit(0) != 1 {
+		t.Fatal("two errors in a triple should majority-flip the bit")
+	}
+}
+
+func TestFEC13BadLength(t *testing.T) {
+	if _, _, ok := DecodeFEC13(bits.FromBools(true, false)); ok {
+		t.Fatal("length 2 accepted")
+	}
+}
+
+func TestFEC23RoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := (int(nRaw)%12 + 1) * 10 // multiples of 10 up to 120
+		r := sim.NewRand(seed)
+		in := randVec(r, n)
+		enc := EncodeFEC23(in)
+		if enc.Len() != n/10*15 {
+			return false
+		}
+		dec, corrected, ok := DecodeFEC23(enc)
+		return ok && corrected == 0 && dec.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFEC23CorrectsAnySingleError(t *testing.T) {
+	r := sim.NewRand(3)
+	in := randVec(r, 10)
+	enc := EncodeFEC23(in)
+	for pos := 0; pos < 15; pos++ {
+		bad := enc.Clone()
+		bad.FlipBit(pos)
+		dec, corrected, ok := DecodeFEC23(bad)
+		if !ok || corrected != 1 || !dec.Equal(in) {
+			t.Fatalf("error at pos %d not corrected (ok=%v)", pos, ok)
+		}
+	}
+}
+
+func TestFEC23PaddingShorterInput(t *testing.T) {
+	in := bits.FromBools(true, true, true) // 3 bits -> padded to 10
+	enc := EncodeFEC23(in)
+	if enc.Len() != 15 {
+		t.Fatalf("len = %d, want 15", enc.Len())
+	}
+	dec, _, ok := DecodeFEC23(enc)
+	if !ok || dec.Len() != 10 {
+		t.Fatal("decode of padded block failed")
+	}
+	for i := 0; i < 3; i++ {
+		if dec.Bit(i) != 1 {
+			t.Fatal("payload bits lost")
+		}
+	}
+	for i := 3; i < 10; i++ {
+		if dec.Bit(i) != 0 {
+			t.Fatal("padding bits not zero")
+		}
+	}
+}
+
+func TestFEC23DetectsDoubleErrors(t *testing.T) {
+	r := sim.NewRand(4)
+	in := randVec(r, 10)
+	enc := EncodeFEC23(in)
+	detected, silent := 0, 0
+	for a := 0; a < 15; a++ {
+		for b := a + 1; b < 15; b++ {
+			bad := enc.Clone()
+			bad.FlipBit(a)
+			bad.FlipBit(b)
+			dec, _, ok := DecodeFEC23(bad)
+			if !ok {
+				detected++
+			} else if !dec.Equal(in) {
+				silent++
+			}
+		}
+	}
+	// The expurgated (15,10) code with (D+1) factor detects all double
+	// errors (minimum distance 4): none may decode, silently or not.
+	if detected != 105 || silent != 0 {
+		t.Fatalf("double errors: detected=%d silent=%d, want 105/0", detected, silent)
+	}
+}
+
+func TestFEC23BadLength(t *testing.T) {
+	if _, _, ok := DecodeFEC23(randVec(sim.NewRand(1), 14)); ok {
+		t.Fatal("length 14 accepted")
+	}
+}
+
+func TestHECDetectsChanges(t *testing.T) {
+	r := sim.NewRand(5)
+	hdr := randVec(r, 10)
+	const uap = 0x47
+	h := HEC(hdr, uap)
+	if !CheckHEC(hdr, uap, h) {
+		t.Fatal("clean HEC check failed")
+	}
+	for i := 0; i < 10; i++ {
+		bad := hdr.Clone()
+		bad.FlipBit(i)
+		if CheckHEC(bad, uap, h) {
+			t.Fatalf("single-bit change at %d not detected", i)
+		}
+	}
+	if CheckHEC(hdr, uap+1, h) {
+		t.Fatal("wrong UAP accepted")
+	}
+}
+
+func TestCRC16DetectsChanges(t *testing.T) {
+	r := sim.NewRand(6)
+	payload := randVec(r, 160)
+	const uap = 0x12
+	c := CRC16(payload, uap)
+	if !CheckCRC16(payload, uap, c) {
+		t.Fatal("clean CRC check failed")
+	}
+	for trial := 0; trial < 50; trial++ {
+		bad := payload.Clone()
+		bad.FlipBit(r.Intn(payload.Len()))
+		if CheckCRC16(bad, uap, c) {
+			t.Fatal("single-bit corruption not detected")
+		}
+	}
+}
+
+func TestCRC16KnownDegenerate(t *testing.T) {
+	// All-zero payload with UAP 0 must give CRC 0 (register never fills).
+	z := bits.NewVec(16)
+	z.AppendUint(0, 16)
+	if CRC16(z, 0) != 0 {
+		t.Fatal("zero payload, zero UAP should give zero CRC")
+	}
+	// And a nonzero UAP must not.
+	if CRC16(z, 1) == 0 {
+		t.Fatal("UAP must affect CRC")
+	}
+}
+
+func TestWhitenerSymmetric(t *testing.T) {
+	f := func(seed uint64, clk uint32) bool {
+		r := sim.NewRand(seed)
+		v := randVec(r, 200)
+		orig := v.Clone()
+		NewWhitener(clk).Apply(v)
+		NewWhitener(clk).Apply(v)
+		return v.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhitenerActuallyWhitens(t *testing.T) {
+	v := bits.NewVec(100)
+	v.AppendUint(0, 64)
+	v.AppendUint(0, 36)
+	orig := v.Clone()
+	NewWhitener(0x155).Apply(v)
+	if v.Equal(orig) {
+		t.Fatal("whitener left all-zero payload unchanged")
+	}
+	// Period of a maximal 7-bit LFSR is 127; the stream must not be
+	// constant within that.
+	w := NewWhitener(0)
+	ones := 0
+	for i := 0; i < 127; i++ {
+		ones += int(w.NextBit())
+	}
+	if ones == 0 || ones == 127 {
+		t.Fatalf("whitening stream degenerate: %d ones in 127", ones)
+	}
+}
+
+func TestWhitenerClockDependence(t *testing.T) {
+	a, b := NewWhitener(2), NewWhitener(4)
+	diff := false
+	for i := 0; i < 20; i++ {
+		if a.NextBit() != b.NextBit() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different clocks produced identical whitening")
+	}
+}

@@ -1,0 +1,140 @@
+// Package coding implements the Bluetooth baseband channel codes used by
+// the packet layer: the rate-1/3 repetition FEC that protects packet
+// headers, the rate-2/3 shortened (15,10) Hamming FEC used by DM packets
+// and the FHS payload, the 8-bit header-error-check (HEC), the CRC-16 on
+// payloads, and the data-whitening LFSR. All operate on bits.Vec in
+// on-air order, matching the Bluetooth 1.2 baseband specification the
+// paper models.
+package coding
+
+import "repro/internal/bits"
+
+// EncodeFEC13 triples every input bit (rate-1/3 repetition code).
+func EncodeFEC13(in *bits.Vec) *bits.Vec {
+	out := bits.NewVec(in.Len() * 3)
+	for i := 0; i < in.Len(); i++ {
+		b := in.Bit(i)
+		out.AppendBit(b)
+		out.AppendBit(b)
+		out.AppendBit(b)
+	}
+	return out
+}
+
+// DecodeFEC13 majority-votes each bit triple. The input length must be a
+// multiple of 3; corrupted lengths are the caller's error to handle.
+// It also reports how many triples needed correction, a useful channel
+// quality measure.
+func DecodeFEC13(in *bits.Vec) (out *bits.Vec, corrected int, ok bool) {
+	if in.Len()%3 != 0 {
+		return nil, 0, false
+	}
+	out = bits.NewVec(in.Len() / 3)
+	for i := 0; i < in.Len(); i += 3 {
+		sum := in.Bit(i) + in.Bit(i+1) + in.Bit(i+2)
+		var b uint8
+		if sum >= 2 {
+			b = 1
+		}
+		if sum == 1 || sum == 2 {
+			corrected++
+		}
+		out.AppendBit(b)
+	}
+	return out, corrected, true
+}
+
+// fec23Gen is the generator polynomial of the (15,10) shortened Hamming
+// code, g(D) = (D+1)(D^4+D+1) = D^5 + D^4 + D^2 + 1, per Bluetooth 1.2
+// part B §7.5. Bit i of the constant is the coefficient of D^i.
+const fec23Gen = 0b110101
+
+// fec23ParityLen is the number of parity bits per block.
+const fec23ParityLen = 5
+
+// fec23DataLen is the number of data bits per block.
+const fec23DataLen = 10
+
+// fec23Parity computes the 5 parity bits for a 10-bit data word (bit i =
+// coefficient of D^i, LSB-first air order) by polynomial division of
+// data(D)·D^5 by g(D).
+func fec23Parity(data uint16) uint8 {
+	// Work MSB-down over the 15-bit codeword register.
+	reg := uint32(data) << fec23ParityLen
+	for i := fec23DataLen + fec23ParityLen - 1; i >= fec23ParityLen; i-- {
+		if reg&(1<<i) != 0 {
+			reg ^= uint32(fec23Gen) << (i - fec23ParityLen)
+		}
+	}
+	return uint8(reg & 0x1F)
+}
+
+// fec23Syndromes maps each 5-bit syndrome to the single codeword bit
+// position that produces it, enabling single-error correction.
+var fec23Syndromes = buildFEC23Syndromes()
+
+func buildFEC23Syndromes() map[uint8]int {
+	m := make(map[uint8]int, 15)
+	for pos := 0; pos < fec23DataLen+fec23ParityLen; pos++ {
+		var data uint16
+		var parity uint8
+		if pos < fec23ParityLen {
+			parity = 1 << pos
+		} else {
+			data = 1 << (pos - fec23ParityLen)
+		}
+		syn := fec23Parity(data) ^ parity
+		m[syn] = pos
+	}
+	return m
+}
+
+// EncodeFEC23 encodes the input with the (15,10) shortened Hamming code.
+// The input is zero-padded to a multiple of 10 bits; the caller records
+// the true payload length (the packet layer always knows it from the
+// payload header, exactly as the standard prescribes).
+func EncodeFEC23(in *bits.Vec) *bits.Vec {
+	nBlocks := (in.Len() + fec23DataLen - 1) / fec23DataLen
+	out := bits.NewVec(nBlocks * (fec23DataLen + fec23ParityLen))
+	for b := 0; b < nBlocks; b++ {
+		var data uint16
+		for i := 0; i < fec23DataLen; i++ {
+			idx := b*fec23DataLen + i
+			if idx < in.Len() {
+				data |= uint16(in.Bit(idx)) << i
+			}
+		}
+		out.AppendUint(uint64(data), fec23DataLen)
+		out.AppendUint(uint64(fec23Parity(data)), fec23ParityLen)
+	}
+	return out
+}
+
+// DecodeFEC23 decodes 15-bit blocks, correcting single-bit errors per
+// block. ok is false if the input length is not a multiple of 15 or any
+// block has an uncorrectable (multi-bit) error pattern.
+func DecodeFEC23(in *bits.Vec) (out *bits.Vec, corrected int, ok bool) {
+	const blockLen = fec23DataLen + fec23ParityLen
+	if in.Len()%blockLen != 0 {
+		return nil, 0, false
+	}
+	out = bits.NewVec(in.Len() / blockLen * fec23DataLen)
+	for b := 0; b < in.Len(); b += blockLen {
+		data := uint16(in.Uint(b, fec23DataLen))
+		parity := uint8(in.Uint(b+fec23DataLen, fec23ParityLen))
+		syn := fec23Parity(data) ^ parity
+		if syn != 0 {
+			pos, found := fec23Syndromes[syn]
+			if !found {
+				return nil, corrected, false
+			}
+			corrected++
+			if pos >= fec23ParityLen {
+				data ^= 1 << (pos - fec23ParityLen)
+			}
+			// Errors in parity bits need no data correction.
+		}
+		out.AppendUint(uint64(data), fec23DataLen)
+	}
+	return out, corrected, true
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"repro/internal/baseband"
+	"repro/internal/packet"
+	"repro/internal/stats"
+)
+
+// AblationRow is one configuration point of a design-choice sweep.
+type AblationRow struct {
+	Param    int
+	MeanTS   float64
+	FailRate float64
+}
+
+// AblationBackoff sweeps the inquiry-response random-backoff span: a
+// short span speeds discovery (the backoff dominates the inquiry mean)
+// but in dense deployments would collide responses; the spec value is
+// 1023.
+func AblationBackoff(spans []int, ber float64, seeds int) []AblationRow {
+	out := make([]AblationRow, 0, len(spans))
+	for _, span := range spans {
+		var ts stats.Sample
+		var fails stats.Counter
+		for seed := 0; seed < seeds; seed++ {
+			s, m, sl := twoDevicesCfg(uint64(seed)*31337+11, ber, func(c *baseband.Config) {
+				c.BackoffMaxSlots = span
+			})
+			sl.StartInquiryScan()
+			var ok bool
+			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
+			s.RunSlots(TimeoutSlots + 64)
+			fails.Observe(ok)
+			if ok {
+				ts.Add(float64(m.InquirySlots()))
+			}
+		}
+		out = append(out, AblationRow{Param: span, MeanTS: ts.Mean(), FailRate: fails.FailureRate()})
+	}
+	return out
+}
+
+// AblationNInquiry sweeps the train repetition count: the spec's 256
+// repetitions push the A→B train swap past the paper's 1.28 s timeout,
+// so scanners parked on a B-train phase are never found — the reason the
+// reproduction (and presumably the paper) uses a smaller value.
+func AblationNInquiry(ns []int, ber float64, seeds int) []AblationRow {
+	out := make([]AblationRow, 0, len(ns))
+	for _, n := range ns {
+		var ts stats.Sample
+		var fails stats.Counter
+		for seed := 0; seed < seeds; seed++ {
+			s, m, sl := twoDevicesCfg(uint64(seed)*7451+5, ber, func(c *baseband.Config) {
+				c.NInquiry = n
+			})
+			sl.StartInquiryScan()
+			var ok bool
+			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
+			s.RunSlots(TimeoutSlots + 64)
+			fails.Observe(ok)
+			if ok {
+				ts.Add(float64(m.InquirySlots()))
+			}
+		}
+		out = append(out, AblationRow{Param: n, MeanTS: ts.Mean(), FailRate: fails.FailureRate()})
+	}
+	return out
+}
+
+// AblationCorrelator sweeps the sync-word error threshold: too strict
+// and noise drops IDs (discovery slows), too loose and false sync would
+// rise in a real radio (the model only shows the robustness side).
+func AblationCorrelator(thresholds []int, ber float64, seeds int) []AblationRow {
+	out := make([]AblationRow, 0, len(thresholds))
+	for _, th := range thresholds {
+		var ts stats.Sample
+		var fails stats.Counter
+		for seed := 0; seed < seeds; seed++ {
+			s, m, sl := twoDevicesCfg(uint64(seed)*94261+17, ber, func(c *baseband.Config) {
+				c.CorrelatorThreshold = th
+			})
+			sl.StartInquiryScan()
+			var ok bool
+			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
+			s.RunSlots(TimeoutSlots + 64)
+			fails.Observe(ok)
+			if ok {
+				ts.Add(float64(m.InquirySlots()))
+			}
+		}
+		out = append(out, AblationRow{Param: th, MeanTS: ts.Mean(), FailRate: fails.FailureRate()})
+	}
+	return out
+}
+
+// AblationTable renders a design sweep.
+func AblationTable(title, param string, rows []AblationRow) *stats.Table {
+	t := stats.NewTable(title, param, "inquiry_mean_TS", "inquiry_fail")
+	for _, r := range rows {
+		t.AddRow(r.Param, r.MeanTS, r.FailRate)
+	}
+	return t
+}
+
+// ThroughputRow reports effective one-way goodput for a packet type at
+// one BER.
+type ThroughputRow struct {
+	Type       packet.Type
+	BER        BERPoint
+	GoodputKbs float64
+	Retransmit int
+}
+
+// PacketTypeThroughput measures master→slave goodput for each ACL packet
+// type under noise: the DM types sacrifice capacity for FEC robustness,
+// the DH types win on clean channels and collapse under noise — the
+// packet-choice trade-off the paper's introduction motivates.
+func PacketTypeThroughput(types []packet.Type, bers []BERPoint, measureSlots uint64, seed uint64) []ThroughputRow {
+	out := make([]ThroughputRow, 0, len(types)*len(bers))
+	for _, ty := range types {
+		for _, b := range bers {
+			s, m, sl := twoDevicesCfg(seed+uint64(ty)<<8, b.Value, func(c *baseband.Config) {
+				c.TpollSlots = 1 << 20
+			})
+			lks := s.BuildPiconet(m, sl)
+			l := lks[0]
+			l.PacketType = ty
+			received := 0
+			sl.OnData = func(_ *baseband.Link, p []byte, llid uint8) { received += len(p) }
+			// Keep the transmit queue saturated.
+			chunk := make([]byte, ty.MaxPayload())
+			var pump func()
+			pump = func() {
+				for l.QueueLen() < 4 {
+					l.Send(chunk, packet.LLIDL2CAPStart)
+				}
+				m.After(uint64(ty.Slots())*2, pump)
+			}
+			pump()
+			s.RunSlots(measureSlots)
+			seconds := float64(measureSlots) * 625e-6
+			out = append(out, ThroughputRow{
+				Type:       ty,
+				BER:        b,
+				GoodputKbs: float64(received) * 8 / 1000 / seconds,
+				Retransmit: m.Counters.Retransmits,
+			})
+		}
+	}
+	return out
+}
+
+// ThroughputTable renders the packet-type ablation.
+func ThroughputTable(rows []ThroughputRow) *stats.Table {
+	t := stats.NewTable("Packet-type ablation: master→slave goodput under noise",
+		"type", "BER", "goodput_kbps", "retransmits")
+	for _, r := range rows {
+		t.AddRow(r.Type.String(), r.BER.Label, r.GoodputKbs, r.Retransmit)
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+package hop
+
+import "fmt"
+
+// MinAFHChannels is the smallest legal adaptive channel set (spec 1.2
+// AFH Nmin).
+const MinAFHChannels = 20
+
+// ChannelMap is an adaptive-frequency-hopping channel set: the v1.2
+// mechanism for coexisting with static interferers (802.11 networks
+// parked on part of the ISM band). Hops selected by the basic kernel
+// that land on an unused channel are remapped into the used set.
+type ChannelMap struct {
+	used [NumChannels]bool
+	list []int // ascending used channels
+}
+
+// NewChannelMap builds a map from the used channel list.
+func NewChannelMap(used []int) *ChannelMap {
+	m := &ChannelMap{}
+	for _, ch := range used {
+		if ch < 0 || ch >= NumChannels {
+			panic(fmt.Sprintf("hop: channel %d out of range", ch))
+		}
+		if !m.used[ch] {
+			m.used[ch] = true
+		}
+	}
+	for ch := 0; ch < NumChannels; ch++ {
+		if m.used[ch] {
+			m.list = append(m.list, ch)
+		}
+	}
+	if len(m.list) < MinAFHChannels {
+		panic(fmt.Sprintf("hop: AFH needs >= %d channels, got %d", MinAFHChannels, len(m.list)))
+	}
+	return m
+}
+
+// AllChannels returns the trivial map (AFH disabled semantics).
+func AllChannels() *ChannelMap {
+	all := make([]int, NumChannels)
+	for i := range all {
+		all[i] = i
+	}
+	return NewChannelMap(all)
+}
+
+// ExcludeRange returns a map avoiding channels [lo, hi].
+func ExcludeRange(lo, hi int) *ChannelMap {
+	var used []int
+	for ch := 0; ch < NumChannels; ch++ {
+		if ch < lo || ch > hi {
+			used = append(used, ch)
+		}
+	}
+	return NewChannelMap(used)
+}
+
+// N returns the number of used channels.
+func (m *ChannelMap) N() int { return len(m.list) }
+
+// Used reports whether ch is in the adaptive set.
+func (m *ChannelMap) Used(ch int) bool { return m.used[ch] }
+
+// Remap applies the AFH remapping function: used channels pass through,
+// unused ones map onto the used set pseudo-uniformly (spec §2.6.4.6).
+func (m *ChannelMap) Remap(f int) int {
+	if m.used[f] {
+		return f
+	}
+	return m.list[f%len(m.list)]
+}
+
+// Bitmask serialises the map into the 10-byte LMP wire format.
+func (m *ChannelMap) Bitmask() []byte {
+	out := make([]byte, 10)
+	for _, ch := range m.list {
+		out[ch/8] |= 1 << (ch % 8)
+	}
+	return out
+}
+
+// FromBitmask parses the LMP wire format.
+func FromBitmask(b []byte) (*ChannelMap, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("hop: AFH bitmask needs 10 bytes, got %d", len(b))
+	}
+	var used []int
+	for ch := 0; ch < NumChannels; ch++ {
+		if b[ch/8]&(1<<(ch%8)) != 0 {
+			used = append(used, ch)
+		}
+	}
+	if len(used) < MinAFHChannels {
+		return nil, fmt.Errorf("hop: AFH bitmask has %d channels, need >= %d", len(used), MinAFHChannels)
+	}
+	return NewChannelMap(used), nil
+}
+
+// BasicAFH returns the connection-state frequency under an adaptive
+// channel map (nil map means the full hop set).
+func (s *Selector) BasicAFH(clk uint32, m *ChannelMap) int {
+	f := s.Basic(clk)
+	if m == nil {
+		return f
+	}
+	return m.Remap(f)
+}

@@ -1,0 +1,109 @@
+package hop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelMapBasics(t *testing.T) {
+	m := ExcludeRange(30, 52)
+	if m.N() != NumChannels-23 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if m.Used(35) || !m.Used(10) || !m.Used(60) {
+		t.Fatal("Used wrong")
+	}
+	if AllChannels().N() != NumChannels {
+		t.Fatal("AllChannels wrong")
+	}
+}
+
+func TestRemapAvoidsExcluded(t *testing.T) {
+	m := ExcludeRange(30, 52)
+	for f := 0; f < NumChannels; f++ {
+		out := m.Remap(f)
+		if !m.Used(out) {
+			t.Fatalf("Remap(%d) = %d lands on an excluded channel", f, out)
+		}
+		if m.Used(f) && out != f {
+			t.Fatalf("used channel %d must pass through, got %d", f, out)
+		}
+	}
+}
+
+func TestBasicAFHDistribution(t *testing.T) {
+	s := NewSelector(Addr28(0x314159, 0x27))
+	m := ExcludeRange(0, 39) // keep upper half only (39 channels)
+	counts := map[int]int{}
+	const hops = 20000
+	for i := 0; i < hops; i++ {
+		f := s.BasicAFH(uint32(i*2), m)
+		if !m.Used(f) {
+			t.Fatalf("AFH hop %d landed on excluded channel %d", i, f)
+		}
+		counts[f]++
+	}
+	// Every used channel should see traffic, none grossly over-used.
+	for ch := 40; ch < NumChannels; ch++ {
+		n := counts[ch]
+		if n == 0 {
+			t.Fatalf("channel %d never used", ch)
+		}
+		if n > hops/m.N()*4 {
+			t.Fatalf("channel %d used %d times, badly skewed", ch, n)
+		}
+	}
+	// Nil map = plain basic hopping.
+	if s.BasicAFH(1234, nil) != s.Basic(1234) {
+		t.Fatal("nil map must be transparent")
+	}
+}
+
+func TestBitmaskRoundTrip(t *testing.T) {
+	f := func(loRaw, spanRaw uint8) bool {
+		lo := int(loRaw) % 40
+		hi := lo + int(spanRaw)%20
+		m := ExcludeRange(lo, hi)
+		got, err := FromBitmask(m.Bitmask())
+		if err != nil {
+			return false
+		}
+		if got.N() != m.N() {
+			return false
+		}
+		for ch := 0; ch < NumChannels; ch++ {
+			if got.Used(ch) != m.Used(ch) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmaskErrors(t *testing.T) {
+	if _, err := FromBitmask(make([]byte, 5)); err == nil {
+		t.Fatal("short bitmask accepted")
+	}
+	if _, err := FromBitmask(make([]byte, 10)); err == nil {
+		t.Fatal("empty channel set accepted")
+	}
+}
+
+func TestChannelMapValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"too few":      func() { NewChannelMap([]int{1, 2, 3}) },
+		"out of range": func() { NewChannelMap([]int{0, 1, 2, 79}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,229 @@
+package hop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+)
+
+func TestPerm5IsPermutation(t *testing.T) {
+	f := func(pHigh, pLow uint32) bool {
+		seen := map[uint32]bool{}
+		for z := uint32(0); z < 32; z++ {
+			out := perm5(z, pHigh&0x1F, pLow&0x1FF)
+			if out > 31 || seen[out] {
+				return false
+			}
+			seen[out] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerm5IdentityWithZeroControl(t *testing.T) {
+	for z := uint32(0); z < 32; z++ {
+		if perm5(z, 0, 0) != z {
+			t.Fatalf("perm5(%d,0,0) = %d, not identity", z, perm5(z, 0, 0))
+		}
+	}
+}
+
+func TestBankCoversAllChannels(t *testing.T) {
+	seen := map[int]bool{}
+	for i := uint32(0); i < NumChannels; i++ {
+		seen[bank(i)] = true
+	}
+	if len(seen) != NumChannels {
+		t.Fatalf("bank covers %d channels, want %d", len(seen), NumChannels)
+	}
+	if bank(0) != 0 || bank(1) != 2 || bank(40) != 1 {
+		t.Fatal("bank must list even channels first, then odd")
+	}
+}
+
+func TestBasicInRangeAndVaries(t *testing.T) {
+	s := NewSelector(Addr28(0x123456, 0x9B))
+	seen := map[int]bool{}
+	for clk := uint32(0); clk < 4096; clk += 4 {
+		f := s.Basic(clk)
+		if f < 0 || f >= NumChannels {
+			t.Fatalf("Basic out of range: %d", f)
+		}
+		seen[f] = true
+	}
+	// Pseudo-random: a thousand hops should touch most of the band.
+	if len(seen) < 60 {
+		t.Fatalf("basic sequence only used %d channels", len(seen))
+	}
+}
+
+func TestBasicAddressDependence(t *testing.T) {
+	a := NewSelector(Addr28(0x111111, 0x11))
+	b := NewSelector(Addr28(0x222222, 0x22))
+	same := 0
+	for clk := uint32(0); clk < 400; clk += 4 {
+		if a.Basic(clk) == b.Basic(clk) {
+			same++
+		}
+	}
+	// Two piconets coincide only at the 1/79 chance level.
+	if same > 10 {
+		t.Fatalf("different addresses coincide on %d/100 hops", same)
+	}
+}
+
+func TestBasicUniformity(t *testing.T) {
+	s := NewSelector(Addr28(0x9E8B33, 0x00))
+	counts := make([]int, NumChannels)
+	const hops = 79 * 400
+	for i := 0; i < hops; i++ {
+		counts[s.Basic(uint32(i*2))]++
+	}
+	for ch, n := range counts {
+		if n == 0 {
+			t.Fatalf("channel %d never used in %d hops", ch, hops)
+		}
+		if n > hops/NumChannels*3 {
+			t.Fatalf("channel %d used %d times, badly non-uniform", ch, n)
+		}
+	}
+}
+
+func TestTrainCoversSixteenFrequencies(t *testing.T) {
+	s := NewSelector(Addr28(0xABCDEF, 0x5A))
+	clke := uint32(0x12345)
+	phases := map[uint32]bool{}
+	freqs := map[int]bool{}
+	// Step CLKE through one train (16 phases = 8 slots = 32 CLK ticks).
+	for k := uint32(0); k < 32; k++ {
+		clk := clke + k
+		if clk&1 == 0 && (clk>>1)&1 == 0 { // master TX half-slots only
+		}
+		phases[TrainPhase(clk, true)] = true
+		freqs[s.Page(clk, true)] = true
+	}
+	if len(phases) > TrainSize {
+		t.Fatalf("train A spans %d phases, want <= %d", len(phases), TrainSize)
+	}
+	if len(freqs) > TrainSize {
+		t.Fatalf("train A spans %d freqs, want <= %d", len(freqs), TrainSize)
+	}
+}
+
+func TestTrainsAandBDisjointPhases(t *testing.T) {
+	clke := uint32(0x4321)
+	pa := map[uint32]bool{}
+	pb := map[uint32]bool{}
+	for k := uint32(0); k < 64; k++ {
+		pa[TrainPhase(clke+k, true)] = true
+		pb[TrainPhase(clke+k, false)] = true
+	}
+	for x := range pa {
+		if pb[x] {
+			t.Fatalf("phase %d in both trains", x)
+		}
+	}
+	if len(pa)+len(pb) != NumScanFreqs {
+		t.Fatalf("trains cover %d phases, want %d", len(pa)+len(pb), NumScanFreqs)
+	}
+}
+
+// The property that makes paging work: the scan phase of the scanner is
+// always inside the union of the two trains computed from a correct clock
+// estimate, and paired response frequencies agree between both ends.
+func TestPageHitGuarantee(t *testing.T) {
+	f := func(lap uint32, uap uint8, clkn uint32) bool {
+		lap &= 0xFFFFFF
+		clkn &= 0x0FFFFFFF
+		s := NewSelector(Addr28(lap, uap))
+		scanFreq := s.Scan(clkn)
+		scanX := ScanX(clkn)
+		// The master's estimate equals the truth here; sweep one whole
+		// train pair and check some transmitted phase matches the
+		// scanner's phase (hence frequency).
+		hit := false
+		for k := uint32(0); k < 64 && !hit; k++ {
+			for _, trainA := range []bool{true, false} {
+				if TrainPhase(clkn+k, trainA) == scanX {
+					if s.Page(clkn+k, trainA) != scanFreq {
+						return false // same phase must give same freq
+					}
+					hit = true
+				}
+			}
+		}
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponsePairing(t *testing.T) {
+	s := NewSelector(Addr28(access.GIAC, 0))
+	for clk := uint32(0); clk < 256; clk++ {
+		x := TrainPhase(clk, true)
+		if s.PageResp(clk, true) != s.RespForX(x) {
+			t.Fatalf("response freq mismatch at clk %d", clk)
+		}
+	}
+}
+
+func TestScanPhaseChangesEvery1_28s(t *testing.T) {
+	s := NewSelector(Addr28(0x654321, 0x01))
+	const ticksPerPhase = 1 << 12 // CLKN12 period in half-slots
+	f0 := s.Scan(0)
+	for clkn := uint32(0); clkn < ticksPerPhase; clkn += 64 {
+		if s.Scan(clkn) != f0 {
+			t.Fatal("scan frequency moved within a 1.28s window")
+		}
+	}
+	changed := false
+	for p := uint32(1); p < 32 && !changed; p++ {
+		changed = s.Scan(p*ticksPerPhase) != f0
+	}
+	if !changed {
+		t.Fatal("scan frequency never changes across windows")
+	}
+}
+
+func TestScanSequenceLength(t *testing.T) {
+	s := NewSelector(Addr28(0x00F00F, 0x0F))
+	freqs := map[int]bool{}
+	for p := uint32(0); p < 32; p++ {
+		freqs[s.Scan(p<<12)] = true
+	}
+	// 32 phases map into up to 32 distinct channels; collisions possible
+	// but the sequence must be non-trivial.
+	if len(freqs) < 16 {
+		t.Fatalf("scan sequence has only %d distinct freqs", len(freqs))
+	}
+}
+
+func TestAddr28Packing(t *testing.T) {
+	a := Addr28(0xFFFFFF, 0xFF)
+	if a != 0x0FFFFFFF {
+		t.Fatalf("Addr28 = %08x", a)
+	}
+	if Addr28(0x123456, 0xAB) != 0x123456|0x0B<<24 {
+		t.Fatal("Addr28 must take only the low UAP nibble")
+	}
+}
+
+func TestAllFrequenciesInRange(t *testing.T) {
+	s := NewSelector(Addr28(0x9E8B33, 0))
+	for clk := uint32(0); clk < 10000; clk += 7 {
+		for _, f := range []int{
+			s.Basic(clk), s.Page(clk, true), s.Page(clk, false),
+			s.PageResp(clk, true), s.Scan(clk), s.RespForX(clk),
+		} {
+			if f < 0 || f >= NumChannels {
+				t.Fatalf("frequency %d out of range at clk %d", f, clk)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package l2cap implements the Logical Link Control and Adaptation
+// Protocol of the paper's Fig. 1 stack: channel multiplexing over ACL
+// links with PSM-based connection signalling and SDU segmentation/
+// reassembly (basic mode B-frames). Applications talk to channels;
+// the baseband's LLID start/continue bits carry the segmentation.
+package l2cap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/baseband"
+	"repro/internal/packet"
+)
+
+// Well-known channel identifiers.
+const (
+	cidSignaling = 0x0001
+	cidDynamic   = 0x0040 // first allocatable CID
+)
+
+// Signalling command codes (spec part D §4).
+const (
+	codeConnReq = 0x02
+	codeConnRsp = 0x03
+	codeDiscReq = 0x06
+	codeDiscRsp = 0x07
+	codeEchoReq = 0x08
+	codeEchoRsp = 0x09
+)
+
+// Connection response results.
+const (
+	resultSuccess    = 0x0000
+	resultRefusedPSM = 0x0002
+)
+
+// ChannelState tracks a channel's lifecycle.
+type ChannelState int
+
+// Channel states.
+const (
+	StateClosed ChannelState = iota
+	StateWaitConnRsp
+	StateOpen
+)
+
+// Channel is one L2CAP channel endpoint.
+type Channel struct {
+	mux       *Mux
+	link      *baseband.Link
+	PSM       uint16
+	LocalCID  uint16
+	RemoteCID uint16
+	state     ChannelState
+
+	// OnSDU receives complete reassembled service data units.
+	OnSDU func(sdu []byte)
+	// OnClose fires when the channel closes (either end).
+	OnClose func()
+
+	connectDone func(*Channel, error)
+}
+
+// State returns the channel's lifecycle state.
+func (c *Channel) State() ChannelState { return c.state }
+
+// Send transmits one SDU over the channel as a single B-frame.
+func (c *Channel) Send(sdu []byte) error {
+	if c.state != StateOpen {
+		return fmt.Errorf("l2cap: channel %#x not open", c.LocalCID)
+	}
+	c.mux.sendFrame(c.link, c.RemoteCID, sdu)
+	return nil
+}
+
+// Disconnect closes the channel, notifying the peer.
+func (c *Channel) Disconnect() {
+	if c.state == StateClosed {
+		return
+	}
+	req := make([]byte, 4)
+	binary.LittleEndian.PutUint16(req[0:2], c.RemoteCID)
+	binary.LittleEndian.PutUint16(req[2:4], c.LocalCID)
+	c.mux.sendSignal(c.link, codeDiscReq, c.mux.nextID(), req)
+	c.mux.closeChannel(c)
+}
+
+// linkState holds per-link reassembly and channel state.
+type linkState struct {
+	buf      []byte
+	channels map[uint16]*Channel // by local CID
+	nextCID  uint16
+}
+
+// Mux is the L2CAP entity of one device.
+type Mux struct {
+	dev    *baseband.Device
+	links  map[*baseband.Link]*linkState
+	psms   map[uint16]func(*Channel)
+	signID uint8
+	// echoDone holds the pending echo callback (one outstanding echo).
+	echoDone func([]byte)
+	// OnUnknownPSM observes refused inbound connections (diagnostics).
+	OnUnknownPSM func(psm uint16)
+}
+
+// Attach builds the L2CAP entity over a device, taking ownership of its
+// ACL data path (LLID 1/2 traffic is L2CAP by definition).
+func Attach(dev *baseband.Device) *Mux {
+	m := &Mux{
+		dev:   dev,
+		links: make(map[*baseband.Link]*linkState),
+		psms:  make(map[uint16]func(*Channel)),
+	}
+	dev.OnData = m.receive
+	return m
+}
+
+// Dev returns the underlying device.
+func (m *Mux) Dev() *baseband.Device { return m.dev }
+
+// RegisterPSM installs an acceptor for inbound channels on a protocol/
+// service multiplexer value (e.g. 0x0003 RFCOMM, 0x0001 SDP).
+func (m *Mux) RegisterPSM(psm uint16, accept func(*Channel)) {
+	m.psms[psm] = accept
+}
+
+func (m *Mux) nextID() uint8 {
+	m.signID++
+	if m.signID == 0 {
+		m.signID = 1
+	}
+	return m.signID
+}
+
+func (m *Mux) stateFor(l *baseband.Link) *linkState {
+	st, ok := m.links[l]
+	if !ok {
+		st = &linkState{channels: make(map[uint16]*Channel), nextCID: cidDynamic}
+		m.links[l] = st
+	}
+	return st
+}
+
+// Connect opens a channel to the peer's PSM over an established ACL
+// link; done fires with the open channel or an error.
+func (m *Mux) Connect(l *baseband.Link, psm uint16, done func(*Channel, error)) *Channel {
+	st := m.stateFor(l)
+	ch := &Channel{
+		mux: m, link: l, PSM: psm,
+		LocalCID:    st.nextCID,
+		state:       StateWaitConnRsp,
+		connectDone: done,
+	}
+	st.nextCID++
+	st.channels[ch.LocalCID] = ch
+	req := make([]byte, 4)
+	binary.LittleEndian.PutUint16(req[0:2], psm)
+	binary.LittleEndian.PutUint16(req[2:4], ch.LocalCID)
+	m.sendSignal(l, codeConnReq, m.nextID(), req)
+	return ch
+}
+
+// Echo sends an echo request (L2CAP ping); done receives the echoed
+// payload.
+func (m *Mux) Echo(l *baseband.Link, payload []byte, done func([]byte)) {
+	m.echoDone = done
+	m.sendSignal(l, codeEchoReq, m.nextID(), payload)
+}
+
+// sendFrame emits one B-frame on a link.
+func (m *Mux) sendFrame(l *baseband.Link, cid uint16, payload []byte) {
+	frame := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint16(frame[0:2], uint16(len(payload)))
+	binary.LittleEndian.PutUint16(frame[2:4], cid)
+	copy(frame[4:], payload)
+	l.Send(frame, packet.LLIDL2CAPStart)
+}
+
+// sendSignal emits a signalling command on CID 1.
+func (m *Mux) sendSignal(l *baseband.Link, code, id uint8, payload []byte) {
+	cmd := make([]byte, 4+len(payload))
+	cmd[0] = code
+	cmd[1] = id
+	binary.LittleEndian.PutUint16(cmd[2:4], uint16(len(payload)))
+	copy(cmd[4:], payload)
+	m.sendFrame(l, cidSignaling, cmd)
+}
+
+// receive reassembles B-frames from baseband chunks.
+func (m *Mux) receive(l *baseband.Link, chunk []byte, llid uint8) {
+	st := m.stateFor(l)
+	if llid == packet.LLIDL2CAPStart {
+		st.buf = st.buf[:0]
+	}
+	st.buf = append(st.buf, chunk...)
+	for len(st.buf) >= 4 {
+		length := int(binary.LittleEndian.Uint16(st.buf[0:2]))
+		if len(st.buf) < 4+length {
+			return // wait for more chunks
+		}
+		cid := binary.LittleEndian.Uint16(st.buf[2:4])
+		payload := append([]byte(nil), st.buf[4:4+length]...)
+		st.buf = st.buf[4+length:]
+		m.dispatch(l, st, cid, payload)
+	}
+}
+
+// dispatch routes a complete frame.
+func (m *Mux) dispatch(l *baseband.Link, st *linkState, cid uint16, payload []byte) {
+	if cid == cidSignaling {
+		m.handleSignal(l, st, payload)
+		return
+	}
+	if ch, ok := st.channels[cid]; ok && ch.state == StateOpen {
+		if ch.OnSDU != nil {
+			ch.OnSDU(payload)
+		}
+	}
+}
+
+// ErrRefused reports a connection refused by the peer.
+var ErrRefused = errors.New("l2cap: connection refused")
+
+// handleSignal processes signalling commands.
+func (m *Mux) handleSignal(l *baseband.Link, st *linkState, cmd []byte) {
+	if len(cmd) < 4 {
+		return
+	}
+	code, id := cmd[0], cmd[1]
+	n := int(binary.LittleEndian.Uint16(cmd[2:4]))
+	if len(cmd) < 4+n {
+		return
+	}
+	body := cmd[4 : 4+n]
+	switch code {
+	case codeConnReq:
+		if len(body) < 4 {
+			return
+		}
+		psm := binary.LittleEndian.Uint16(body[0:2])
+		scid := binary.LittleEndian.Uint16(body[2:4])
+		accept, ok := m.psms[psm]
+		rsp := make([]byte, 8)
+		if !ok {
+			// DCID stays 0; SCID and result report the refusal.
+			binary.LittleEndian.PutUint16(rsp[2:4], scid)
+			binary.LittleEndian.PutUint16(rsp[4:6], resultRefusedPSM)
+			m.sendSignal(l, codeConnRsp, id, rsp)
+			if m.OnUnknownPSM != nil {
+				m.OnUnknownPSM(psm)
+			}
+			return
+		}
+		ch := &Channel{
+			mux: m, link: l, PSM: psm,
+			LocalCID:  st.nextCID,
+			RemoteCID: scid,
+			state:     StateOpen,
+		}
+		st.nextCID++
+		st.channels[ch.LocalCID] = ch
+		binary.LittleEndian.PutUint16(rsp[0:2], ch.LocalCID)
+		binary.LittleEndian.PutUint16(rsp[2:4], scid)
+		binary.LittleEndian.PutUint16(rsp[4:6], resultSuccess)
+		m.sendSignal(l, codeConnRsp, id, rsp)
+		accept(ch)
+	case codeConnRsp:
+		if len(body) < 6 {
+			return
+		}
+		dcid := binary.LittleEndian.Uint16(body[0:2])
+		scid := binary.LittleEndian.Uint16(body[2:4])
+		result := binary.LittleEndian.Uint16(body[4:6])
+		ch, ok := st.channels[scid]
+		if !ok || ch.state != StateWaitConnRsp {
+			return
+		}
+		if result != resultSuccess {
+			delete(st.channels, scid)
+			ch.state = StateClosed
+			if ch.connectDone != nil {
+				ch.connectDone(nil, ErrRefused)
+			}
+			return
+		}
+		ch.RemoteCID = dcid
+		ch.state = StateOpen
+		if ch.connectDone != nil {
+			ch.connectDone(ch, nil)
+		}
+	case codeDiscReq:
+		if len(body) < 4 {
+			return
+		}
+		dcid := binary.LittleEndian.Uint16(body[0:2])
+		if ch, ok := st.channels[dcid]; ok {
+			m.sendSignal(l, codeDiscRsp, id, body)
+			m.closeChannel(ch)
+		}
+	case codeDiscRsp:
+		// Channel already removed locally at Disconnect time.
+	case codeEchoReq:
+		m.sendSignal(l, codeEchoRsp, id, body)
+	case codeEchoRsp:
+		if m.echoDone != nil {
+			done := m.echoDone
+			m.echoDone = nil
+			done(append([]byte(nil), body...))
+		}
+	}
+}
+
+// closeChannel removes a channel and notifies its owner.
+func (m *Mux) closeChannel(c *Channel) {
+	if st, ok := m.links[c.link]; ok {
+		delete(st.channels, c.LocalCID)
+	}
+	if c.state != StateClosed {
+		c.state = StateClosed
+		if c.OnClose != nil {
+			c.OnClose()
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package lmp
+
+import (
+	"testing"
+
+	"repro/internal/baseband"
+	"repro/internal/hop"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestSCONegotiationOverTheAir(t *testing.T) {
+	k, mm, sm, ml, _ := pair(t)
+	var slaveSCO *baseband.SCOLink
+	sm.OnSCOEstablished = func(sco *baseband.SCOLink) {
+		slaveSCO = sco
+		sco.Source = func() []byte { return make([]byte, 30) }
+	}
+	var masterSCO *baseband.SCOLink
+	mm.RequestSCO(ml, packet.TypeHV3, 6, 0, func(sco *baseband.SCOLink) { masterSCO = sco })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if masterSCO == nil || slaveSCO == nil {
+		t.Fatalf("SCO not negotiated: master=%v slave=%v", masterSCO != nil, slaveSCO != nil)
+	}
+	if slaveSCO.Type != packet.TypeHV3 || slaveSCO.TscoSlots != 6 {
+		t.Fatalf("slave SCO params wrong: %v/%d", slaveSCO.Type, slaveSCO.TscoSlots)
+	}
+	// Voice must actually flow after negotiation.
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(300)))
+	if masterSCO.RxFrames == 0 || slaveSCO.RxFrames == 0 {
+		t.Fatalf("no voice after negotiation: m.rx=%d s.rx=%d",
+			masterSCO.RxFrames, slaveSCO.RxFrames)
+	}
+}
+
+func TestSCONegotiationRejectsBadType(t *testing.T) {
+	k, mm, _, ml, sl := pair(t)
+	var result *baseband.SCOLink = &baseband.SCOLink{} // sentinel
+	called := false
+	// Raw PDU with a non-SCO type code must be not-accepted.
+	mm.pendingAccept[ml] = func(ok bool) {
+		called = true
+		if ok {
+			t.Error("bad SCO type accepted")
+		}
+	}
+	params := append([]byte{uint8(packet.TypeDM1)}, putU16(6)...)
+	params = append(params, putU16(0)...)
+	mm.send(ml, PDU{Op: OpSCOLinkReq, Params: params})
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if !called {
+		t.Fatal("no response to bad SCO request")
+	}
+	_ = result
+	if len(sl.Mode().String()) == 0 {
+		t.Fatal("sanity")
+	}
+}
+
+func TestAFHNegotiation(t *testing.T) {
+	k, mm, sm, ml, _ := pair(t)
+	cm := hop.ExcludeRange(30, 52)
+	var accepted bool
+	mm.SetAFH(ml, cm, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(600))) // past the AFH instant
+	if !accepted {
+		t.Fatal("AFH map not accepted")
+	}
+	mMap, sMap := mm.Dev().AFHMap(), sm.Dev().AFHMap()
+	if mMap == nil || sMap == nil {
+		t.Fatal("AFH map not installed on both ends")
+	}
+	if mMap.N() != cm.N() || sMap.N() != cm.N() {
+		t.Fatalf("map sizes: %d/%d want %d", mMap.N(), sMap.N(), cm.N())
+	}
+	// The link must keep working on the reduced hop set.
+	got := 0
+	sm.Dev().OnData = func(l *baseband.Link, p []byte, llid uint8) { got += len(p) }
+	ml.Send([]byte{1, 2, 3, 4}, packet.LLIDL2CAPStart)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if got != 4 {
+		t.Fatalf("data broken after AFH switch: %d bytes", got)
+	}
+}
+
+func TestAFHRevertToFullSet(t *testing.T) {
+	k, mm, sm, ml, _ := pair(t)
+	mm.SetAFH(ml, hop.ExcludeRange(0, 39), nil)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(600)))
+	if sm.Dev().AFHMap() == nil {
+		t.Fatal("map not installed")
+	}
+	// nil map = full set over the air (all-channels bitmask).
+	mm.SetAFH(ml, nil, nil)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(600)))
+	if sm.Dev().AFHMap() != nil {
+		t.Fatal("full-set bitmask must clear the slave's map")
+	}
+	if mm.Dev().AFHMap() != nil {
+		t.Fatal("full-set bitmask must clear the master's map")
+	}
+}

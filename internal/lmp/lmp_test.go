@@ -1,0 +1,172 @@
+package lmp
+
+import (
+	"testing"
+
+	"repro/internal/baseband"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+func TestPDUEncodeDecode(t *testing.T) {
+	p := PDU{Op: OpSniffReq, Params: []byte{1, 2, 3}}
+	b := p.Encode()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpSniffReq || len(got.Params) != 3 || got.Params[2] != 3 {
+		t.Fatalf("round trip wrong: %+v", got)
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty PDU must error")
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpSniffReq.String() != "LMP_sniff_req" || OpDetach.String() != "LMP_detach" {
+		t.Fatal("opcode strings wrong")
+	}
+	if Opcode(200).String() != "LMP_op(200)" {
+		t.Fatal("unknown opcode string wrong")
+	}
+}
+
+func TestU16Helpers(t *testing.T) {
+	if getU16(putU16(0xBEEF)) != 0xBEEF {
+		t.Fatal("u16 round trip failed")
+	}
+}
+
+// pair builds a connected master/slave with LMP managers attached.
+func pair(t *testing.T) (*sim.Kernel, *Manager, *Manager, *baseband.Link, *baseband.Link) {
+	t.Helper()
+	k := sim.NewKernel()
+	ch := channel.New(k, sim.NewRand(42), channel.Config{})
+	m := baseband.New(k, ch, "master", baseband.Config{Addr: baseband.BDAddr{LAP: 0x101010, UAP: 1}})
+	s := baseband.New(k, ch, "slave", baseband.Config{Addr: baseband.BDAddr{LAP: 0x202020, UAP: 2}, ClockPhase: 4242})
+	mm, sm := Attach(m), Attach(s)
+	var ml, sl *baseband.Link
+	m.OnConnected = func(l *baseband.Link) { ml = l }
+	s.OnConnected = func(l *baseband.Link) { sl = l }
+	s.StartPageScan()
+	est := m.EstimateOf(baseband.InquiryResult{CLKN: s.Clock.CLKN(0), At: 0}, 0)
+	m.StartPage(s.Addr(), est, 2048, nil)
+	k.RunUntil(sim.Time(sim.Slots(600)))
+	if ml == nil || sl == nil {
+		t.Fatal("pair did not connect")
+	}
+	return k, mm, sm, ml, sl
+}
+
+func TestSetupHandshake(t *testing.T) {
+	k, mm, sm, ml, sl := pair(t)
+	var masterDone, slaveDone bool
+	mm.OnSetupComplete = func(l *baseband.Link) { masterDone = true }
+	sm.OnSetupComplete = func(l *baseband.Link) { slaveDone = true }
+	mm.StartSetup(ml)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if !masterDone || !slaveDone {
+		t.Fatalf("setup incomplete: master=%v slave=%v", masterDone, slaveDone)
+	}
+	if !mm.SetupComplete(ml) || !sm.SetupComplete(sl) {
+		t.Fatal("SetupComplete accessors disagree")
+	}
+}
+
+func TestSniffNegotiation(t *testing.T) {
+	k, mm, sm, ml, sl := pair(t)
+	var accepted bool
+	var slaveMode baseband.Mode = -1
+	sm.OnModeChange = func(l *baseband.Link, m baseband.Mode) { slaveMode = m }
+	mm.RequestSniff(ml, 100, 2, 0, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(800)))
+	if !accepted {
+		t.Fatal("sniff not accepted")
+	}
+	if ml.Mode() != baseband.ModeSniff || sl.Mode() != baseband.ModeSniff {
+		t.Fatalf("modes: master-link %v slave-link %v", ml.Mode(), sl.Mode())
+	}
+	if slaveMode != baseband.ModeSniff {
+		t.Fatal("slave mode-change callback missing")
+	}
+	// Unsniff over the air (works because the sniff anchors still give
+	// the slave receive windows).
+	accepted = false
+	mm.RequestUnsniff(ml, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(1200)))
+	if !accepted || ml.Mode() != baseband.ModeActive || sl.Mode() != baseband.ModeActive {
+		t.Fatalf("unsniff failed: accepted=%v modes %v/%v", accepted, ml.Mode(), sl.Mode())
+	}
+}
+
+func TestHoldNegotiation(t *testing.T) {
+	k, mm, _, ml, sl := pair(t)
+	var accepted bool
+	mm.RequestHold(ml, 300, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(200)))
+	if !accepted {
+		t.Fatal("hold not accepted")
+	}
+	if ml.Mode() != baseband.ModeHold || sl.Mode() != baseband.ModeHold {
+		t.Fatalf("modes after hold: %v/%v", ml.Mode(), sl.Mode())
+	}
+	// After the hold expires both ends return to active via resync.
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(900)))
+	if sl.Mode() != baseband.ModeActive {
+		t.Fatalf("slave mode after hold expiry: %v", sl.Mode())
+	}
+}
+
+func TestParkNegotiation(t *testing.T) {
+	k, mm, _, ml, sl := pair(t)
+	var accepted bool
+	mm.RequestPark(ml, 64, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if !accepted {
+		t.Fatal("park not accepted")
+	}
+	if ml.Mode() != baseband.ModePark || sl.Mode() != baseband.ModePark {
+		t.Fatalf("modes after park: %v/%v", ml.Mode(), sl.Mode())
+	}
+}
+
+func TestDetachNotifies(t *testing.T) {
+	k, mm, sm, ml, _ := pair(t)
+	var detached bool
+	sm.OnDetach = func(l *baseband.Link) { detached = true }
+	mm.Detach(ml)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(200)))
+	if !detached {
+		t.Fatal("detach not delivered")
+	}
+}
+
+func TestVersionAndMaxSlotRequests(t *testing.T) {
+	k, mm, _, ml, sl := pair(t)
+	_ = sl
+	// Fire raw PDUs and make sure responses come back (observed via the
+	// master's own receive path not crashing and link traffic counters).
+	mm.send(ml, PDU{Op: OpVersionReq})
+	mm.send(ml, PDU{Op: OpMaxSlotReq})
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if ml.RxData < 2 {
+		t.Fatalf("expected version+maxslot responses, got %d LMP receptions", ml.RxData)
+	}
+}
+
+func TestBadPDUsNotAccepted(t *testing.T) {
+	k, mm, _, ml, sl := pair(t)
+	var result *bool
+	// Malformed sniff req (too-short params) sent raw: peer must answer
+	// not_accepted, which clears a pending callback with false.
+	mm.pendingAccept[ml] = func(ok bool) { result = &ok }
+	mm.send(ml, PDU{Op: OpSniffReq, Params: []byte{1}})
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if result == nil || *result {
+		t.Fatalf("malformed request must be rejected (result=%v)", result)
+	}
+	if sl.Mode() != baseband.ModeActive {
+		t.Fatal("slave must stay active")
+	}
+}

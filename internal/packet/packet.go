@@ -1,0 +1,522 @@
+// Package packet implements the Bluetooth baseband packet formats the
+// paper's transmitter/receiver modules build and interpret: the ID
+// packet (bare access code), NULL/POLL control packets, the FHS packet
+// that carries address and clock during piconet creation, and the
+// DM1/3/5 (FEC-protected) and DH1/3/5 (unprotected) data packets whose
+// noise behaviour the paper's throughput/power analyses compare.
+//
+// Assembly follows the standard's transmit chain: header → HEC →
+// whitening → FEC 1/3; payload → CRC → whitening → (FEC 2/3 for DM/FHS).
+// Parsing runs the chain backwards and reports exactly which stage a
+// corrupted packet dies at, which is what the BER experiments measure.
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/bits"
+	"repro/internal/coding"
+)
+
+// Type is the 4-bit packet type code from the packet header (ACL types
+// of Bluetooth 1.2 part B §6.5).
+type Type uint8
+
+// Packet type codes. ID is not a real header type (an ID packet has no
+// header); it gets a sentinel value for logging and dispatch.
+const (
+	TypeNull Type = 0x0
+	TypePoll Type = 0x1
+	TypeFHS  Type = 0x2
+	TypeDM1  Type = 0x3
+	TypeDH1  Type = 0x4
+	TypeHV1  Type = 0x5
+	TypeHV2  Type = 0x6
+	TypeHV3  Type = 0x7
+	TypeAUX1 Type = 0x9
+	TypeDM3  Type = 0xA
+	TypeDH3  Type = 0xB
+	TypeDM5  Type = 0xE
+	TypeDH5  Type = 0xF
+	TypeID   Type = 0xFF
+)
+
+// String names the type for traces and logs.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypePoll:
+		return "POLL"
+	case TypeFHS:
+		return "FHS"
+	case TypeDM1:
+		return "DM1"
+	case TypeDH1:
+		return "DH1"
+	case TypeHV1:
+		return "HV1"
+	case TypeHV2:
+		return "HV2"
+	case TypeHV3:
+		return "HV3"
+	case TypeAUX1:
+		return "AUX1"
+	case TypeDM3:
+		return "DM3"
+	case TypeDH3:
+		return "DH3"
+	case TypeDM5:
+		return "DM5"
+	case TypeDH5:
+		return "DH5"
+	case TypeID:
+		return "ID"
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Slots returns how many 625 µs slots the type occupies on air.
+func (t Type) Slots() int {
+	switch t {
+	case TypeDM3, TypeDH3:
+		return 3
+	case TypeDM5, TypeDH5:
+		return 5
+	default:
+		return 1
+	}
+}
+
+// IsSCO reports whether the type is a synchronous (voice) packet: fixed
+// length, no CRC, no retransmission.
+func (t Type) IsSCO() bool {
+	switch t {
+	case TypeHV1, TypeHV2, TypeHV3:
+		return true
+	}
+	return false
+}
+
+// MaxPayload returns the maximum user-payload bytes for a data type
+// (zero for control packets). For the HV types it is also the exact
+// required length.
+func (t Type) MaxPayload() int {
+	switch t {
+	case TypeHV1:
+		return 10
+	case TypeHV2:
+		return 20
+	case TypeHV3:
+		return 30
+	case TypeDM1:
+		return 17
+	case TypeDH1:
+		return 27
+	case TypeAUX1:
+		return 29
+	case TypeDM3:
+		return 121
+	case TypeDH3:
+		return 183
+	case TypeDM5:
+		return 224
+	case TypeDH5:
+		return 339
+	default:
+		return 0
+	}
+}
+
+// fec23 reports whether the payload is rate-2/3 FEC protected.
+func (t Type) fec23() bool {
+	switch t {
+	case TypeFHS, TypeDM1, TypeDM3, TypeDM5, TypeHV2:
+		return true
+	}
+	return false
+}
+
+// fec13Payload reports whether the payload is rate-1/3 FEC protected
+// (only HV1 voice).
+func (t Type) fec13Payload() bool { return t == TypeHV1 }
+
+// hasCRC reports whether the payload carries a CRC-16.
+func (t Type) hasCRC() bool {
+	switch t {
+	case TypeDM1, TypeDM3, TypeDM5, TypeDH1, TypeDH3, TypeDH5, TypeFHS:
+		return true
+	}
+	return false
+}
+
+// payloadHeaderBits is 8 for single-slot data packets, 16 for multi-slot.
+func (t Type) payloadHeaderBits() int {
+	switch t {
+	case TypeDM1, TypeDH1, TypeAUX1:
+		return 8
+	case TypeDM3, TypeDH3, TypeDM5, TypeDH5:
+		return 16
+	}
+	return 0
+}
+
+// LLID values for the payload header's logical channel field.
+const (
+	LLIDL2CAPContinue = 0x1
+	LLIDL2CAPStart    = 0x2
+	LLIDLMP           = 0x3
+)
+
+// Header is the 18-bit packet header (before HEC/FEC).
+type Header struct {
+	AMAddr uint8 // 3-bit active member address; 0 = broadcast
+	Type   Type
+	Flow   bool // baseband flow control
+	ARQN   bool // acknowledgement of the previous reception
+	SEQN   bool // sequence bit for duplicate filtering
+}
+
+// FHSPayload is the decoded content of an FHS packet: everything a
+// scanner needs to join (or create) a piconet.
+type FHSPayload struct {
+	LAP    uint32 // lower address part of the sender
+	UAP    uint8
+	NAP    uint16
+	Class  uint32 // 24-bit class of device
+	AMAddr uint8  // AM_ADDR assigned to the recipient (page response)
+	CLK    uint32 // sender's CLKN bits 27-2 at transmission, re-shifted
+	SR     uint8  // scan repetition field
+}
+
+// Packet is a baseband packet in logical form.
+type Packet struct {
+	// AccessLAP selects the access code: the master's LAP in connection
+	// state (CAC), the paged device's LAP (DAC), or GIAC for inquiry.
+	AccessLAP uint32
+	// Header is nil exactly for ID packets.
+	Header *Header
+	// FHS is set when Header.Type == TypeFHS.
+	FHS *FHSPayload
+	// Payload is the user/LMP data of DM/DH/AUX packets.
+	Payload []byte
+	// LLID tags the payload's logical channel.
+	LLID uint8
+	// PFlow is the payload-header flow bit.
+	PFlow bool
+}
+
+// NewID builds an ID packet for a LAP (inquiry or page trains).
+func NewID(lap uint32) *Packet { return &Packet{AccessLAP: lap} }
+
+// IsID reports whether p is an ID packet.
+func (p *Packet) IsID() bool { return p.Header == nil }
+
+// Type returns the packet type, TypeID for ID packets.
+func (p *Packet) Type() Type {
+	if p.Header == nil {
+		return TypeID
+	}
+	return p.Header.Type
+}
+
+// AirBits returns the on-air length in bits (= duration in µs at
+// 1 Mbit/s).
+func (p *Packet) AirBits() int {
+	if p.IsID() {
+		return 68
+	}
+	n := 72 + 54 // access code with trailer + FEC-1/3 header
+	t := p.Header.Type
+	switch {
+	case t == TypeFHS:
+		n += 240 // (144 info + 16 CRC) · 3/2
+	case t.IsSCO():
+		n += 240 // all HV types fill 240 payload bits
+	case t.MaxPayload() > 0:
+		bits := t.payloadHeaderBits() + 8*len(p.Payload)
+		if t.hasCRC() {
+			bits += 16
+		}
+		if t.fec23() {
+			bits = (bits + 9) / 10 * 15
+		}
+		n += bits
+	}
+	return n
+}
+
+// Errors reported by Parse, ordered by receive-chain stage.
+var (
+	ErrAccessCode = errors.New("packet: access code correlation failed")
+	ErrHeaderFEC  = errors.New("packet: header FEC unrecoverable")
+	ErrHEC        = errors.New("packet: header error check failed")
+	ErrPayloadFEC = errors.New("packet: payload FEC unrecoverable")
+	ErrCRC        = errors.New("packet: payload CRC failed")
+	ErrMalformed  = errors.New("packet: malformed payload structure")
+)
+
+// RxInfo reports reception quality for instrumentation.
+type RxInfo struct {
+	SyncErrors      int // bit errors in the sync word
+	HeaderCorrected int // FEC-1/3 corrections in the header
+	PayloadFixed    int // FEC-2/3 corrections in the payload
+}
+
+// Assemble serialises the packet to on-air bits. uap and clk are the
+// receiver-agreed values (sender's UAP for HEC/CRC, piconet clock for
+// whitening); for ID packets they are unused.
+func (p *Packet) Assemble(uap uint8, clk uint32) *bits.Vec {
+	if p.IsID() {
+		return access.Code(p.AccessLAP, false)
+	}
+	out := bits.NewVec(p.AirBits())
+	out.AppendVec(access.Code(p.AccessLAP, true))
+
+	w := coding.NewWhitener(clk)
+
+	hdr := bits.NewVec(18)
+	h := p.Header
+	hdr.AppendUint(uint64(h.AMAddr&0x7), 3)
+	hdr.AppendUint(uint64(h.Type&0xF), 4)
+	hdr.AppendBit(boolBit(h.Flow))
+	hdr.AppendBit(boolBit(h.ARQN))
+	hdr.AppendBit(boolBit(h.SEQN))
+	hec := coding.HEC(hdr, uap)
+	hdr.AppendUint(uint64(hec), 8)
+	w.Apply(hdr)
+	out.AppendVec(coding.EncodeFEC13(hdr))
+
+	pl := p.payloadBits(uap)
+	if pl == nil {
+		return out
+	}
+	w.Apply(pl)
+	switch {
+	case p.Header.Type.fec13Payload():
+		out.AppendVec(coding.EncodeFEC13(pl))
+	case p.Header.Type.fec23():
+		out.AppendVec(coding.EncodeFEC23(pl))
+	default:
+		out.AppendVec(pl)
+	}
+	return out
+}
+
+// payloadBits builds the unwhitened, un-FEC'd payload bit string
+// (payload header + data + CRC), or nil for NULL/POLL.
+func (p *Packet) payloadBits(uap uint8) *bits.Vec {
+	t := p.Header.Type
+	switch t {
+	case TypeNull, TypePoll:
+		return nil
+	case TypeFHS:
+		return p.fhsBits(uap)
+	}
+	if t.IsSCO() {
+		if len(p.Payload) != t.MaxPayload() {
+			panic(fmt.Sprintf("packet: %v voice frame must be exactly %d bytes, got %d",
+				t, t.MaxPayload(), len(p.Payload)))
+		}
+		body := bits.NewVec(8 * len(p.Payload))
+		body.AppendBytes(p.Payload)
+		return body
+	}
+	if len(p.Payload) > t.MaxPayload() {
+		panic(fmt.Sprintf("packet: %v payload %d exceeds max %d", t, len(p.Payload), t.MaxPayload()))
+	}
+	body := bits.NewVec(t.payloadHeaderBits() + 8*len(p.Payload) + 16)
+	if t.payloadHeaderBits() == 8 {
+		body.AppendUint(uint64(p.LLID&0x3), 2)
+		body.AppendBit(boolBit(p.PFlow))
+		body.AppendUint(uint64(len(p.Payload)), 5)
+	} else {
+		body.AppendUint(uint64(p.LLID&0x3), 2)
+		body.AppendBit(boolBit(p.PFlow))
+		body.AppendUint(uint64(len(p.Payload)), 9)
+		body.AppendUint(0, 4) // undefined bits
+	}
+	body.AppendBytes(p.Payload)
+	if t.hasCRC() {
+		crc := coding.CRC16(body, uap)
+		body.AppendUint(uint64(crc), 16)
+	}
+	return body
+}
+
+// fhsBits serialises the FHS information (144 bits) plus CRC.
+func (p *Packet) fhsBits(uap uint8) *bits.Vec {
+	f := p.FHS
+	v := bits.NewVec(160)
+	v.AppendUint(uint64(access.SyncWord(f.LAP)>>30), 34) // parity bits field
+	v.AppendUint(uint64(f.LAP&0xFFFFFF), 24)
+	v.AppendUint(0, 2)                // undefined
+	v.AppendUint(uint64(f.SR&0x3), 2) // scan repetition
+	v.AppendUint(0, 2)                // scan period (reserved in 1.2)
+	v.AppendUint(uint64(f.UAP), 8)
+	v.AppendUint(uint64(f.NAP), 16)
+	v.AppendUint(uint64(f.Class&0xFFFFFF), 24)
+	v.AppendUint(uint64(f.AMAddr&0x7), 3)
+	v.AppendUint(uint64((f.CLK>>2)&0x3FFFFFF), 26) // CLK27-2
+	v.AppendUint(0, 3)                             // page scan mode
+	crc := coding.CRC16(v, uap)
+	v.AppendUint(uint64(crc), 16)
+	return v
+}
+
+func boolBit(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Parse decodes received on-air bits. expectLAP is the access code the
+// receiver's correlator is armed with; uap/clk as in Assemble; threshold
+// is the correlator's sync-error budget. ID packets parse as soon as the
+// access code correlates and the length is the bare 68-bit form.
+func Parse(rx *bits.Vec, expectLAP uint32, uap uint8, clk uint32, threshold int) (*Packet, *RxInfo, error) {
+	info := &RxInfo{}
+	errs, ok := access.Correlate(rx, expectLAP, threshold)
+	info.SyncErrors = errs
+	if !ok {
+		return nil, info, ErrAccessCode
+	}
+	if rx.Len() < 72+54 {
+		return &Packet{AccessLAP: expectLAP}, info, nil
+	}
+
+	w := coding.NewWhitener(clk)
+	hdrBits, corrected, ok := coding.DecodeFEC13(rx.Slice(72, 72+54))
+	if !ok {
+		return nil, info, ErrHeaderFEC
+	}
+	info.HeaderCorrected = corrected
+	w.Apply(hdrBits)
+	hec := uint8(hdrBits.Uint(10, 8))
+	if !coding.CheckHEC(hdrBits.Slice(0, 10), uap, hec) {
+		return nil, info, ErrHEC
+	}
+	h := &Header{
+		AMAddr: uint8(hdrBits.Uint(0, 3)),
+		Type:   Type(hdrBits.Uint(3, 4)),
+		Flow:   hdrBits.Bit(7) == 1,
+		ARQN:   hdrBits.Bit(8) == 1,
+		SEQN:   hdrBits.Bit(9) == 1,
+	}
+	p := &Packet{AccessLAP: expectLAP, Header: h}
+
+	body := rx.Slice(72+54, rx.Len())
+	switch h.Type {
+	case TypeNull, TypePoll:
+		return p, info, nil
+	}
+	if h.Type.IsSCO() {
+		return parseSCO(p, body, w, info)
+	}
+	if h.Type.fec23() {
+		dec, fixed, ok := coding.DecodeFEC23(body)
+		if !ok {
+			return nil, info, ErrPayloadFEC
+		}
+		info.PayloadFixed = fixed
+		body = dec
+	}
+	w.Apply(body)
+
+	if h.Type == TypeFHS {
+		return p, info, parseFHS(p, body, uap)
+	}
+
+	phb := h.Type.payloadHeaderBits()
+	if phb == 0 || body.Len() < phb {
+		return nil, info, ErrMalformed
+	}
+	var length int
+	if phb == 8 {
+		p.LLID = uint8(body.Uint(0, 2))
+		p.PFlow = body.Bit(2) == 1
+		length = int(body.Uint(3, 5))
+	} else {
+		p.LLID = uint8(body.Uint(0, 2))
+		p.PFlow = body.Bit(2) == 1
+		length = int(body.Uint(3, 9))
+	}
+	if length > h.Type.MaxPayload() {
+		return nil, info, ErrMalformed
+	}
+	end := phb + 8*length
+	crcBits := 0
+	if h.Type.hasCRC() {
+		crcBits = 16
+	}
+	if body.Len() < end+crcBits {
+		return nil, info, ErrMalformed
+	}
+	if crcBits > 0 {
+		crc := uint16(body.Uint(end, 16))
+		if !coding.CheckCRC16(body.Slice(0, end), uap, crc) {
+			return nil, info, ErrCRC
+		}
+	}
+	p.Payload = body.Slice(phb, end).Bytes()
+	if length == 0 {
+		p.Payload = nil
+	}
+	return p, info, nil
+}
+
+// parseSCO decodes a voice payload: HV1 majority-votes its repetition
+// code, HV2's Hamming blocks may declare an erasure, HV3 delivers the
+// raw (possibly corrupted) bits — voice has no CRC and no ARQ.
+func parseSCO(p *Packet, body *bits.Vec, w *coding.Whitener, info *RxInfo) (*Packet, *RxInfo, error) {
+	t := p.Header.Type
+	want := t.MaxPayload() * 8
+	switch {
+	case t.fec13Payload():
+		dec, fixed, ok := coding.DecodeFEC13(body)
+		if !ok || dec.Len() < want {
+			return nil, info, ErrPayloadFEC
+		}
+		info.PayloadFixed = fixed
+		body = dec
+	case t.fec23():
+		dec, fixed, ok := coding.DecodeFEC23(body)
+		if !ok || dec.Len() < want {
+			return nil, info, ErrPayloadFEC
+		}
+		info.PayloadFixed = fixed
+		body = dec
+	default:
+		if body.Len() < want {
+			return nil, info, ErrMalformed
+		}
+	}
+	w.Apply(body)
+	p.Payload = body.Slice(0, want).Bytes()
+	return p, info, nil
+}
+
+// parseFHS decodes the FHS information field into p.FHS.
+func parseFHS(p *Packet, body *bits.Vec, uap uint8) error {
+	if body.Len() < 160 {
+		return ErrMalformed
+	}
+	crc := uint16(body.Uint(144, 16))
+	if !coding.CheckCRC16(body.Slice(0, 144), uap, crc) {
+		return ErrCRC
+	}
+	f := &FHSPayload{
+		LAP:    uint32(body.Uint(34, 24)),
+		SR:     uint8(body.Uint(60, 2)),
+		UAP:    uint8(body.Uint(64, 8)),
+		NAP:    uint16(body.Uint(72, 16)),
+		Class:  uint32(body.Uint(88, 24)),
+		AMAddr: uint8(body.Uint(112, 3)),
+		CLK:    uint32(body.Uint(115, 26)) << 2,
+	}
+	p.FHS = f
+	return nil
+}

@@ -1,0 +1,110 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Property: AirBits always equals the assembled length, for every type,
+// payload size and header-field combination — the schedulers rely on it
+// to reserve slots.
+func TestAirBitsMatchesAssembleProperty(t *testing.T) {
+	types := []Type{TypeNull, TypePoll, TypeDM1, TypeDH1, TypeAUX1,
+		TypeDM3, TypeDH3, TypeDM5, TypeDH5, TypeHV1, TypeHV2, TypeHV3}
+	f := func(tyIdx uint8, nRaw uint16, am uint8, flow, arqn, seqn bool, llid uint8) bool {
+		ty := types[int(tyIdx)%len(types)]
+		n := 0
+		if ty.IsSCO() {
+			n = ty.MaxPayload()
+		} else if ty.MaxPayload() > 0 {
+			n = int(nRaw) % (ty.MaxPayload() + 1)
+		}
+		p := &Packet{
+			AccessLAP: testLAP,
+			Header:    &Header{AMAddr: am & 7, Type: ty, Flow: flow, ARQN: arqn, SEQN: seqn},
+			Payload:   make([]byte, n),
+			LLID:      llid & 3,
+		}
+		return p.Assemble(testUAP, testCLK).Len() == p.AirBits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a clean round trip preserves every payload byte for every
+// ACL data type and size.
+func TestPayloadRoundTripProperty(t *testing.T) {
+	types := []Type{TypeDM1, TypeDH1, TypeDM3, TypeDH3, TypeDM5, TypeDH5}
+	f := func(tyIdx uint8, nRaw uint16, seed uint64, clk uint32) bool {
+		ty := types[int(tyIdx)%len(types)]
+		n := int(nRaw) % (ty.MaxPayload() + 1)
+		r := sim.NewRand(seed)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		p := &Packet{
+			AccessLAP: testLAP,
+			Header:    &Header{AMAddr: 1, Type: ty},
+			Payload:   data,
+			LLID:      LLIDL2CAPStart,
+		}
+		clk &= (1 << 28) - 1
+		got, _, err := Parse(p.Assemble(testUAP, clk), testLAP, testUAP, clk, 7)
+		if err != nil || len(got.Payload) != n {
+			return false
+		}
+		for i := range data {
+			if got.Payload[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single random bit error anywhere in a DM1 packet never
+// yields a silently corrupted payload — it is either corrected (FEC) or
+// detected (correlator, HEC, FEC erasure or CRC).
+func TestNoSilentCorruptionProperty(t *testing.T) {
+	f := func(seed uint64, bitIdx uint16) bool {
+		r := sim.NewRand(seed)
+		data := make([]byte, 17)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		p := &Packet{
+			AccessLAP: testLAP,
+			Header:    &Header{AMAddr: 2, Type: TypeDM1, SEQN: true},
+			Payload:   data,
+			LLID:      LLIDL2CAPStart,
+		}
+		v := p.Assemble(testUAP, testCLK)
+		v.FlipBit(int(bitIdx) % v.Len())
+		got, _, err := Parse(v, testLAP, testUAP, testCLK, 7)
+		if err != nil {
+			return true // detected: fine
+		}
+		if got.Header.AMAddr != 2 || got.Header.Type != TypeDM1 || !got.Header.SEQN {
+			return false // silent header corruption
+		}
+		if len(got.Payload) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got.Payload[i] != data[i] {
+				return false // silent payload corruption
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// in the style of the SystemC scheduler the paper's model runs on.
+//
+// Time is counted in integer ticks of 0.5 µs so that every Bluetooth
+// timing quantity (1 µs bit, 312.5 µs half slot, 625 µs slot) is an exact
+// integer. Events scheduled for the same tick fire in the order they were
+// scheduled (a total order that plays the role of SystemC delta cycles),
+// which makes every simulation run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in ticks (0.5 µs units).
+type Time uint64
+
+// Duration is a span of simulation time in ticks (0.5 µs units).
+type Duration uint64
+
+// Tick granularity constants. All Bluetooth timing in this repository is
+// expressed with these so that slot arithmetic stays integral.
+const (
+	// TicksPerMicrosecond is the kernel resolution: 2 ticks = 1 µs.
+	TicksPerMicrosecond = 2
+	// BitTicks is the on-air duration of one symbol at 1 Mbit/s.
+	BitTicks = 2
+	// HalfSlotTicks is 312.5 µs, the Bluetooth native-clock period (3.2 kHz).
+	HalfSlotTicks = 625
+	// SlotTicks is one 625 µs Bluetooth time slot.
+	SlotTicks = 1250
+)
+
+// Microseconds converts a microsecond count to a Duration.
+func Microseconds(us uint64) Duration { return Duration(us * TicksPerMicrosecond) }
+
+// Slots converts a slot count to a Duration.
+func Slots(n uint64) Duration { return Duration(n * SlotTicks) }
+
+// Micros reports t in microseconds (truncating the half-microsecond bit).
+func (t Time) Micros() uint64 { return uint64(t) / TicksPerMicrosecond }
+
+// Slot reports the index of the 625 µs slot containing t.
+func (t Time) Slot() uint64 { return uint64(t) / SlotTicks }
+
+// String formats the time as microseconds for logs and waveforms.
+func (t Time) String() string {
+	us2 := uint64(t)
+	if us2%2 == 0 {
+		return fmt.Sprintf("%dus", us2/2)
+	}
+	return fmt.Sprintf("%d.5us", us2/2)
+}
+
+// Event is a callback scheduled to run at a simulation time.
+type Event func()
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type scheduledEvent struct {
+	at     Time
+	seq    uint64 // tie-break: schedule order
+	id     EventID
+	fn     Event
+	cancel bool
+	index  int // heap index
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is the simulation scheduler. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	pending map[EventID]*scheduledEvent
+	nextSeq uint64
+	nextID  EventID
+	running bool
+	stopped bool
+	tracers []Tracer
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{pending: make(map[EventID]*scheduledEvent)}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (k *Kernel) Pending() int { return len(k.pending) }
+
+// Schedule runs fn after delay ticks. A delay of zero fires fn later in
+// the current tick, after all previously scheduled same-time events.
+func (k *Kernel) Schedule(delay Duration, fn Event) EventID {
+	if fn == nil {
+		panic("sim: Schedule called with nil event")
+	}
+	k.nextSeq++
+	k.nextID++
+	ev := &scheduledEvent{at: k.now + Time(delay), seq: k.nextSeq, id: k.nextID, fn: fn}
+	heap.Push(&k.queue, ev)
+	k.pending[ev.id] = ev
+	return ev.id
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (k *Kernel) At(t Time, fn Event) EventID {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, k.now))
+	}
+	return k.Schedule(Duration(t-k.now), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (k *Kernel) Cancel(id EventID) bool {
+	ev, ok := k.pending[id]
+	if !ok {
+		return false
+	}
+	ev.cancel = true
+	delete(k.pending, id)
+	return true
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the final simulation time.
+func (k *Kernel) Run() Time { return k.RunUntil(Time(^uint64(0))) }
+
+// RunUntil executes events with timestamps <= limit (or until Stop). The
+// simulation clock is left at min(limit, time of last event) so that
+// measurements over a fixed horizon are well defined.
+func (k *Kernel) RunUntil(limit Time) Time {
+	if k.running {
+		panic("sim: RunUntil re-entered from within an event")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for len(k.queue) > 0 && !k.stopped {
+		ev := k.queue[0]
+		if ev.at > limit {
+			break
+		}
+		heap.Pop(&k.queue)
+		if ev.cancel {
+			continue
+		}
+		delete(k.pending, ev.id)
+		k.now = ev.at
+		ev.fn()
+	}
+	if k.now < limit && limit != Time(^uint64(0)) {
+		k.now = limit
+	}
+	return k.now
+}
+
+// Step executes exactly one event (skipping cancelled ones) and reports
+// whether an event ran.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*scheduledEvent)
+		if ev.cancel {
+			continue
+		}
+		delete(k.pending, ev.id)
+		k.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(20, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(10, func() { got = append(got, 2) }) // same time, later schedule
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Fatalf("final time = %v, want 20", k.Now())
+	}
+}
+
+func TestZeroDelayRunsAfterSameTimeEvents(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Schedule(5, func() {
+		got = append(got, "a")
+		k.Schedule(0, func() { got = append(got, "delta") })
+	})
+	k.Schedule(5, func() { got = append(got, "b") })
+	k.Run()
+	want := []string{"a", "b", "delta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	id := k.Schedule(10, func() { ran = true })
+	if !k.Cancel(id) {
+		t.Fatal("first Cancel should report true")
+	}
+	if k.Cancel(id) {
+		t.Fatal("second Cancel should report false")
+	}
+	k.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelFromOtherEvent(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	id := k.Schedule(10, func() { ran = true })
+	k.Schedule(5, func() { k.Cancel(id) })
+	k.Run()
+	if ran {
+		t.Fatal("event cancelled at t=5 still ran at t=10")
+	}
+}
+
+func TestRunUntilAdvancesClockToLimit(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {})
+	k.Schedule(1000, func() {})
+	end := k.RunUntil(100)
+	if end != 100 {
+		t.Fatalf("RunUntil(100) = %v, want 100", end)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (the t=1000 event)", k.Pending())
+	}
+	// Continue: the future event must still fire.
+	fired := k.Step()
+	if !fired || k.Now() != 1000 {
+		t.Fatalf("Step fired=%v now=%v, want true/1000", fired, k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Duration(i), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestAtPanicsOnPast(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestSchedulePanicsOnNil(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	k.Schedule(1, nil)
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Microseconds(625) != Duration(SlotTicks) {
+		t.Fatal("625us != one slot")
+	}
+	if Slots(3) != 3*SlotTicks {
+		t.Fatal("Slots(3) wrong")
+	}
+	if Time(SlotTicks*7).Slot() != 7 {
+		t.Fatal("Slot() wrong")
+	}
+	if Time(5).String() != "2.5us" {
+		t.Fatalf("String = %q", Time(5).String())
+	}
+	if Time(4).String() != "2us" {
+		t.Fatalf("String = %q", Time(4).String())
+	}
+	if Time(SlotTicks).Micros() != 625 {
+		t.Fatal("Micros wrong")
+	}
+}
+
+// Property: with any batch of scheduled delays, events fire in
+// non-decreasing time order and the kernel visits every one.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 200 {
+			delays = delays[:200]
+		}
+		k := NewKernel()
+		var fired []Time
+		for _, d := range delays {
+			k.Schedule(Duration(d), func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilReentryPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant RunUntil did not panic")
+			}
+		}()
+		k.Run()
+	})
+	k.Run()
+}

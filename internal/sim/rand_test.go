@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolEdgeProbabilities(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := NewRand(12345)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.02) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.02) > 0.003 {
+		t.Fatalf("Bool(0.02) frequency = %v", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRand(5)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincide %d/100 times", same)
+	}
+}
+
+// Property: mean of Intn(n) over many draws is near (n-1)/2 for any n.
+func TestIntnMeanProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		r := NewRand(seed)
+		sum := 0
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			sum += r.Intn(n)
+		}
+		mean := float64(sum) / draws
+		want := float64(n-1) / 2
+		return math.Abs(mean-want) < float64(n)*0.05+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

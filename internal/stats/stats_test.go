@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample stddev of that classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 must be positive")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("Q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("Q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %v", q)
+	}
+	var empty Sample
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // summing extreme magnitudes overflows; out of scope
+			}
+			s.Add(x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9*math.Abs(s.Min())-1e-9 &&
+			m <= s.Max()+1e-9*math.Abs(s.Max())+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 || c.FailureRate() != 0 {
+		t.Fatal("empty counter must report 0")
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(i < 7)
+	}
+	if c.Rate() != 0.7 {
+		t.Fatalf("Rate = %v", c.Rate())
+	}
+	if math.Abs(c.FailureRate()-0.3) > 1e-12 {
+		t.Fatalf("FailureRate = %v", c.FailureRate())
+	}
+	if c.Success != 7 || c.Total != 10 {
+		t.Fatalf("counts %d/%d", c.Success, c.Total)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Fig 6", "BER", "mean TS", "ci95")
+	tbl.AddRow("1/100", 1556.2, 10.5)
+	tbl.AddRow("1/30", 1801.0, 22.0)
+	out := tbl.String()
+	if !strings.Contains(out, "== Fig 6 ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1556") || !strings.Contains(out, "1801") {
+		t.Fatalf("missing data:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "BER,mean TS,ci95\n") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "1/100,1556,10.5") {
+		t.Fatalf("CSV row wrong:\n%s", csv)
+	}
+}
+
+func TestTableIntFormatting(t *testing.T) {
+	tbl := NewTable("", "n")
+	tbl.AddRow(42)
+	if !strings.Contains(tbl.CSV(), "42") {
+		t.Fatal("int row lost")
+	}
+	if strings.Contains(tbl.String(), "==") {
+		t.Fatal("empty title must not render a banner")
+	}
+}

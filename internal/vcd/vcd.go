@@ -1,0 +1,190 @@
+// Package vcd writes Value Change Dump files, the waveform format the
+// paper's Figs 5 and 9 were plotted from (SystemC's sc_trace equivalent).
+// It implements sim.Tracer so any traced signal lands in the dump.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+type variable struct {
+	name  string
+	kind  string
+	width int
+	code  string
+	last  string
+	dirty bool
+}
+
+// Writer accumulates signal declarations and changes and serialises them
+// as a VCD file. Changes may arrive before Flush in any time order within
+// a tick; across ticks the kernel guarantees monotone time.
+type Writer struct {
+	w       io.Writer
+	vars    []*variable
+	header  bool
+	curTime sim.Time
+	started bool
+	err     error
+}
+
+// New returns a Writer emitting to w. Call Close (or Flush) at the end of
+// the simulation to emit the final pending changes.
+func New(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+var _ sim.Tracer = (*Writer)(nil)
+
+// Declare registers a new VCD variable; part of sim.Tracer.
+func (v *Writer) Declare(name, kind string, width int) int {
+	if v.header {
+		panic("vcd: Declare after first Change")
+	}
+	v.vars = append(v.vars, &variable{name: name, kind: kind, width: width, code: idCode(len(v.vars))})
+	return len(v.vars) - 1
+}
+
+// idCode generates the compact VCD identifier for variable index i.
+func idCode(i int) string {
+	const first, last = 33, 126 // printable ASCII range per VCD spec
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(first + i%(last-first+1)))
+		i /= (last - first + 1)
+		if i == 0 {
+			return sb.String()
+		}
+		i--
+	}
+}
+
+// Change records a value change; part of sim.Tracer. The header is
+// emitted lazily at the first timestamp flush, so declarations and
+// initial values (all at time zero) may interleave freely.
+func (v *Writer) Change(t sim.Time, h int, val any) {
+	if v.err != nil {
+		return
+	}
+	if t != v.curTime || !v.started {
+		v.flushTime()
+		v.curTime = t
+		v.started = true
+	}
+	va := v.vars[h]
+	va.last = formatValue(va, val)
+	va.dirty = true
+}
+
+func formatValue(va *variable, val any) string {
+	switch x := val.(type) {
+	case bool:
+		if x {
+			return "1" + va.code
+		}
+		return "0" + va.code
+	case int64:
+		return fmt.Sprintf("b%b %s", uint64(x), va.code)
+	case uint64:
+		return fmt.Sprintf("b%b %s", x, va.code)
+	case int:
+		return fmt.Sprintf("b%b %s", uint64(x), va.code)
+	case string:
+		return fmt.Sprintf("s%s %s", sanitize(x), va.code)
+	default:
+		return fmt.Sprintf("s%v %s", x, va.code)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+func (v *Writer) writeHeader() {
+	v.header = true
+	v.printf("$timescale 500ns $end\n$scope module bluetooth $end\n")
+	// Group variables by dotted prefix for readable hierarchy.
+	byScope := map[string][]*variable{}
+	var scopes []string
+	for _, va := range v.vars {
+		scope, leaf := splitName(va.name)
+		if _, ok := byScope[scope]; !ok {
+			scopes = append(scopes, scope)
+		}
+		va.name = leaf
+		byScope[scope] = append(byScope[scope], va)
+	}
+	sort.Strings(scopes)
+	for _, sc := range scopes {
+		if sc != "" {
+			v.printf("$scope module %s $end\n", sc)
+		}
+		for _, va := range byScope[sc] {
+			kind := va.kind
+			if kind == "string" {
+				kind = "real" // closest VCD analogue; value emitted as string token
+			}
+			v.printf("$var %s %d %s %s $end\n", kind, va.width, va.code, va.name)
+		}
+		if sc != "" {
+			v.printf("$upscope $end\n")
+		}
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+}
+
+func splitName(name string) (scope, leaf string) {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+func (v *Writer) flushTime() {
+	if !v.started {
+		return
+	}
+	if !v.header {
+		v.writeHeader()
+	}
+	wrote := false
+	for _, va := range v.vars {
+		if va.dirty {
+			if !wrote {
+				v.printf("#%d\n", uint64(v.curTime))
+				wrote = true
+			}
+			v.printf("%s\n", va.last)
+			va.dirty = false
+		}
+	}
+}
+
+func (v *Writer) printf(format string, args ...any) {
+	if v.err != nil {
+		return
+	}
+	_, v.err = fmt.Fprintf(v.w, format, args...)
+}
+
+// Flush writes any buffered changes for the current timestamp.
+func (v *Writer) Flush() error {
+	if !v.header {
+		v.writeHeader()
+	}
+	v.flushTime()
+	return v.err
+}
+
+// Close flushes the writer. The underlying io.Writer is not closed.
+func (v *Writer) Close() error { return v.Flush() }

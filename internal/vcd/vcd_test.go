@@ -1,0 +1,154 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBasicDump(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	h := w.Declare("master.rx_on", "wire", 1)
+	w.Change(0, h, false)
+	w.Change(100, h, true)
+	w.Change(250, h, false)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 500ns $end",
+		"$scope module master $end",
+		"$var wire 1 ! rx_on $end",
+		"#100", "#250",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Initial value at #0, then 1 at #100, then 0 at #250.
+	if strings.Index(out, "0!") > strings.Index(out, "1!") {
+		t.Fatalf("initial 0 should precede 1:\n%s", out)
+	}
+}
+
+func TestCoalesceSameTimestamp(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	h := w.Declare("x", "wire", 1)
+	w.Change(10, h, true)
+	w.Change(10, h, false) // same tick: last write wins
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "#10") != 1 {
+		t.Fatalf("timestamp #10 emitted more than once:\n%s", out)
+	}
+	if strings.Contains(out, "1!") {
+		t.Fatalf("overwritten value leaked:\n%s", out)
+	}
+}
+
+func TestIntAndStringValues(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	hi := w.Declare("freq", "integer", 7)
+	hs := w.Declare("state", "string", 8)
+	w.Change(0, hi, int64(78))
+	w.Change(0, hs, "PAGE SCAN")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "b1001110 !") {
+		t.Fatalf("int change missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sPAGE_SCAN") {
+		t.Fatalf("string change missing or not sanitised:\n%s", out)
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate id code %q at %d", c, i)
+		}
+		seen[c] = true
+	}
+	if idCode(0) != "!" {
+		t.Fatalf("idCode(0) = %q", idCode(0))
+	}
+	if len(idCode(200)) != 2 {
+		t.Fatalf("idCode(200) = %q, want 2 chars", idCode(200))
+	}
+}
+
+func TestDeclareInterleavesWithInitialValues(t *testing.T) {
+	// Signals register lazily: declares and time-zero initial values may
+	// interleave (devices are built one after another).
+	var sb strings.Builder
+	w := New(&sb)
+	ha := w.Declare("a", "wire", 1)
+	w.Change(0, ha, true)
+	hb := w.Declare("b", "wire", 1)
+	w.Change(0, hb, false)
+	w.Change(10, ha, false)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$var wire 1 ! a $end") || !strings.Contains(out, `$var wire 1 " b $end`) {
+		t.Fatalf("both vars must be declared:\n%s", out)
+	}
+}
+
+func TestDeclareAfterHeaderPanics(t *testing.T) {
+	w := New(&strings.Builder{})
+	h := w.Declare("a", "wire", 1)
+	w.Change(0, h, true)
+	w.Change(5, h, false) // forces the header out
+	defer func() {
+		if recover() == nil {
+			t.Error("Declare after header emission did not panic")
+		}
+	}()
+	w.Declare("b", "wire", 1)
+}
+
+func TestIntegrationWithKernelSignals(t *testing.T) {
+	var sb strings.Builder
+	k := sim.NewKernel()
+	w := New(&sb)
+	k.AddTracer(w)
+	s := sim.NewBool(k, "slave1.tx_on", false)
+	k.Schedule(sim.Slots(1), func() { s.Set(true) })
+	k.Schedule(sim.Slots(2), func() { s.Set(false) })
+	k.Run()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$scope module slave1 $end") {
+		t.Fatalf("missing scope:\n%s", out)
+	}
+	if !strings.Contains(out, "#1250") || !strings.Contains(out, "#2500") {
+		t.Fatalf("missing slot-boundary timestamps:\n%s", out)
+	}
+}
+
+func TestEmptyDumpStillValid(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.Declare("unused", "wire", 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "$enddefinitions $end") {
+		t.Fatal("header missing on empty dump")
+	}
+}
