@@ -1,11 +1,13 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/packet"
+	"repro/internal/runner"
 )
 
 // Each benchmark regenerates one figure of the paper's evaluation with a
@@ -186,4 +188,42 @@ func BenchmarkMultiPiconetInterference(b *testing.B) {
 		perLink = rows[0].PerLinkKbs
 	}
 	b.ReportMetric(perLink, "kbps@3piconets")
+}
+
+// BenchmarkRunnerReplicasPerSec is the runner-level smoke benchmark: a
+// Fig-6-class inquiry sweep (2 BER points × 16 seeds) through the
+// worker pool at 1, 2 and 4 workers, reporting replicas/sec. The tables
+// are byte-identical at every pool width (TestRunnerDeterminism); only
+// the wall clock changes, so the replicas/s ratio between the sub-
+// benchmarks is the parallel speedup on this machine.
+func BenchmarkRunnerReplicasPerSec(b *testing.B) {
+	bers := []experiments.BERPoint{{Label: "1/100", Value: 0.01}, {Label: "1/30", Value: 1.0 / 30}}
+	const seeds = 16
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner.SetDefaultWorkers(workers)
+			defer runner.SetDefaultWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				experiments.InquirySweep(bers, seeds)
+			}
+			replicas := float64(len(bers) * seeds * b.N)
+			b.ReportMetric(replicas/b.Elapsed().Seconds(), "replicas/s")
+		})
+	}
+}
+
+// BenchmarkRunnerSerialBaseline is the same sweep with no pool at all —
+// the reference point for the pool's scheduling overhead.
+func BenchmarkRunnerSerialBaseline(b *testing.B) {
+	bers := []experiments.BERPoint{{Label: "1/100", Value: 0.01}, {Label: "1/30", Value: 1.0 / 30}}
+	const seeds = 16
+	runner.SetDefaultWorkers(runner.Serial)
+	defer runner.SetDefaultWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.InquirySweep(bers, seeds)
+	}
+	replicas := float64(len(bers) * seeds * b.N)
+	b.ReportMetric(replicas/b.Elapsed().Seconds(), "replicas/s")
 }

@@ -2,10 +2,15 @@
 // evaluation section (Figs 5-12), plus the design-choice ablations, and
 // prints them as aligned tables or CSV.
 //
+// Sweeps fan their (parameter, seed) replicas out across a worker pool
+// (internal/runner); -workers sets the pool size and the tables are
+// byte-identical at any setting.
+//
 // Usage:
 //
 //	btexp -fig all            # every figure, default seeds
 //	btexp -fig 6 -seeds 100   # just Fig 6, more statistics
+//	btexp -fig 6 -workers 8   # same table, 8-way parallel
 //	btexp -fig 5 -out fig5.vcd
 //	btexp -fig ablations
 //	btexp -fig throughput -csv
@@ -15,11 +20,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/experiments"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
+
+// stderrIsTerminal reports whether stderr is a character device (a
+// terminal rather than a pipe or file).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference")
@@ -27,7 +41,37 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "output file for waveform figures (5, 9); default fig<N>.vcd")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, -1 = serial)")
+	jobs := flag.Int("jobs", 1, "replicas batched per scheduled job")
+	progress := flag.Bool("progress", true, "stream sweep progress to stderr")
 	flag.Parse()
+
+	runner.SetDefaultWorkers(*workers)
+	runner.SetDefaultJobs(*jobs)
+	// Stream progress only on a terminal unless -progress was given
+	// explicitly, so piped stderr stays free of carriage returns.
+	explicitProgress := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "progress" {
+			explicitProgress = true
+		}
+	})
+	if *progress && (explicitProgress || stderrIsTerminal()) {
+		var mu sync.Mutex
+		last := make(map[string]int)
+		runner.SetProgress(func(name string, done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done <= last[name] {
+				return // stale report from a straggling worker
+			}
+			last[name] = done
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", name, done, total)
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		})
+	}
 
 	emit := func(t *stats.Table) {
 		if *csv {

@@ -3,10 +3,16 @@
 // it also dumps the waveforms (enable_tx_RF / enable_rx_RF / state) the
 // paper's Figs 5 and 9 show.
 //
+// With -trials N (N > 1) the scenario instead runs as N independent
+// replicas — one fresh simulation per seed — fanned out across the
+// internal/runner worker pool, and btsim reports the merged outcome and
+// RF-activity statistics.
+//
 // Usage:
 //
 //	btsim -scenario creation -slaves 3 -vcd creation.vcd
 //	btsim -scenario discovery -ber 0.01
+//	btsim -scenario creation -ber 0.01 -trials 200 -workers 8
 //	btsim -scenario sniff -tsniff 100
 //	btsim -scenario hold -thold 400
 //	btsim -scenario park
@@ -19,9 +25,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/baseband"
 	"repro/internal/core"
-	"repro/internal/packet"
 )
 
 func main() {
@@ -33,7 +37,27 @@ func main() {
 	slots := flag.Uint64("slots", 2000, "extra slots to run after setup")
 	tsniff := flag.Int("tsniff", 100, "Tsniff in slots (sniff scenario)")
 	thold := flag.Int("thold", 400, "Thold in slots (hold scenario)")
+	trials := flag.Int("trials", 1, "replicate the scenario this many times through the parallel runner")
+	workers := flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS, -1 = serial)")
 	flag.Parse()
+
+	p := trialParams{
+		slaves: *slaves, ber: *ber, seed: *seed,
+		slots: *slots, tsniff: *tsniff, thold: *thold,
+	}
+
+	if *trials > 1 {
+		if *vcdPath != "" {
+			fmt.Fprintln(os.Stderr, "btsim: -vcd is single-run only; ignoring it for -trials")
+		}
+		runTrials(*scenario, *trials, *workers, p)
+		return
+	}
+
+	if !validScenario(*scenario) {
+		fmt.Fprintf(os.Stderr, "btsim: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
 
 	var trace io.Writer
 	if *vcdPath != "" {
@@ -46,34 +70,10 @@ func main() {
 		trace = f
 	}
 
-	s := core.NewSimulation(core.Options{Seed: *seed, BER: *ber, TraceTo: trace})
-	master := s.AddDevice("master", baseband.Config{
-		Addr: baseband.BDAddr{LAP: 0x101000, UAP: 0x01, NAP: 0x0001},
+	s, _ := runScenario(*scenario, *seed, p, trace, func(format string, args ...any) {
+		fmt.Printf(format, args...)
 	})
-	var devs []*baseband.Device
-	for i := 0; i < *slaves; i++ {
-		devs = append(devs, s.AddDevice(fmt.Sprintf("slave%d", i+1), baseband.Config{
-			Addr: baseband.BDAddr{LAP: 0x202000 + uint32(i)*0x10100, UAP: uint8(i + 2), NAP: 0x0002},
-		}))
-	}
-
-	switch *scenario {
-	case "discovery":
-		runDiscovery(s, master, devs)
-	case "creation":
-		runCreation(s, master, devs, *slots)
-	case "sniff":
-		runSniff(s, master, devs, *tsniff, *slots)
-	case "hold":
-		runHold(s, master, devs, *thold, *slots)
-	case "park":
-		runPark(s, master, devs, *slots)
-	case "transfer":
-		runTransfer(s, master, devs, *slots)
-	default:
-		fmt.Fprintf(os.Stderr, "btsim: unknown scenario %q\n", *scenario)
-		os.Exit(1)
-	}
+	report(s)
 
 	if err := s.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "btsim: closing trace: %v\n", err)
@@ -92,97 +92,4 @@ func report(s *core.Simulation) {
 		fmt.Printf("%-8s %-12s %9.3f%% %9.3f%% %8d\n",
 			d.Name(), d.State(), tx*100, rx*100, d.Counters.TxPackets)
 	}
-}
-
-func runDiscovery(s *core.Simulation, master *baseband.Device, devs []*baseband.Device) {
-	for _, d := range devs {
-		d.StartInquiryScan()
-	}
-	fmt.Println("master entering INQUIRY; slaves in INQUIRY SCAN")
-	master.StartInquiry(4096, len(devs), func(rs []baseband.InquiryResult, ok bool) {
-		fmt.Printf("inquiry complete after %d slots: %d device(s) found (ok=%v)\n",
-			master.InquirySlots(), len(rs), ok)
-		for _, r := range rs {
-			fmt.Printf("  found %v class=%06X clkn=%d\n", r.Addr, r.Class, r.CLKN)
-		}
-	})
-	s.RunSlots(5000)
-	report(s)
-}
-
-func runCreation(s *core.Simulation, master *baseband.Device, devs []*baseband.Device, extra uint64) {
-	fmt.Printf("building piconet: master + %d slaves (paper Fig 5 scenario)\n", len(devs))
-	links := s.BuildPiconet(master, devs...)
-	for _, l := range links {
-		fmt.Printf("  connected %v as AM_ADDR %d at slot %d\n", l.Peer, l.AMAddr, s.Now())
-	}
-	links[0].Send([]byte("hello piconet"), packet.LLIDL2CAPStart)
-	s.RunSlots(extra)
-	report(s)
-}
-
-func runSniff(s *core.Simulation, master *baseband.Device, devs []*baseband.Device, tsniff int, extra uint64) {
-	links := s.BuildPiconet(master, devs...)
-	fmt.Printf("piconet up; putting %d slave(s) into SNIFF (Tsniff=%d slots) — paper Fig 9\n",
-		max(len(links)-1, 1), tsniff)
-	// First slave stays active (as in Fig 9), the rest sniff.
-	for i := 1; i < len(links); i++ {
-		links[i].EnterSniff(tsniff, 2, 0)
-		devs[i].MasterLink().EnterSniff(tsniff, 2, 0)
-	}
-	if len(links) == 1 {
-		links[0].EnterSniff(tsniff, 2, 0)
-		devs[0].MasterLink().EnterSniff(tsniff, 2, 0)
-	}
-	for _, d := range devs {
-		core.ResetMeters(d)
-	}
-	s.RunSlots(extra)
-	report(s)
-}
-
-func runHold(s *core.Simulation, master *baseband.Device, devs []*baseband.Device, thold int, extra uint64) {
-	links := s.BuildPiconet(master, devs...)
-	fmt.Printf("piconet up; slaves entering repeating HOLD (Thold=%d slots) — paper Fig 12 workload\n", thold)
-	for i, l := range links {
-		l.EnterHoldRepeating(thold)
-		devs[i].MasterLink().EnterHoldRepeating(thold)
-	}
-	for _, d := range devs {
-		core.ResetMeters(d)
-	}
-	s.RunSlots(extra)
-	report(s)
-}
-
-func runPark(s *core.Simulation, master *baseband.Device, devs []*baseband.Device, extra uint64) {
-	links := s.BuildPiconet(master, devs...)
-	fmt.Println("piconet up; parking every slave (beacon every 64 slots)")
-	for i, l := range links {
-		l.EnterPark(64)
-		devs[i].MasterLink().EnterPark(64)
-	}
-	for _, d := range devs {
-		core.ResetMeters(d)
-	}
-	s.RunSlots(extra)
-	report(s)
-}
-
-func runTransfer(s *core.Simulation, master *baseband.Device, devs []*baseband.Device, extra uint64) {
-	links := s.BuildPiconet(master, devs...)
-	total := 0
-	for _, d := range devs {
-		d.OnData = func(_ *baseband.Link, p []byte, _ uint8) { total += len(p) }
-	}
-	const chunk = 1024
-	for _, l := range links {
-		l.PacketType = packet.TypeDM3
-		l.Send(make([]byte, chunk), packet.LLIDL2CAPStart)
-	}
-	fmt.Printf("piconet up; sending %d bytes to each of %d slaves (DM3, BER from -ber)\n", chunk, len(links))
-	s.RunSlots(extra)
-	fmt.Printf("delivered %d/%d bytes; master retransmissions: %d\n",
-		total, chunk*len(links), master.Counters.Retransmits)
-	report(s)
 }

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseband"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/stats"
+)
+
+// trialParams carries the scenario knobs into one run or replica.
+type trialParams struct {
+	slaves int
+	ber    float64
+	seed   uint64
+	slots  uint64
+	tsniff int
+	thold  int
+}
+
+// trialOutcome is the mergeable result of one scenario run: named
+// outcome counters, the per-device RF-activity observations, and the
+// first panic message if the replica crashed.
+type trialOutcome struct {
+	Out    stats.CounterMap
+	Tx, Rx stats.Sample
+	Panic  string
+}
+
+func (a *trialOutcome) merge(b *trialOutcome) {
+	if a.Out == nil {
+		a.Out = stats.CounterMap{}
+	}
+	a.Out.Merge(b.Out)
+	a.Tx.Merge(&b.Tx)
+	a.Rx.Merge(&b.Rx)
+	if a.Panic == "" {
+		a.Panic = b.Panic
+	}
+}
+
+// validScenario reports whether name is a known -scenario value; the
+// runScenario switch below is the single list of scenarios.
+func validScenario(name string) bool {
+	switch name {
+	case "creation", "discovery", "sniff", "hold", "park", "transfer":
+		return true
+	}
+	return false
+}
+
+// buildWorld assembles the master + N slave world every scenario
+// starts from.
+func buildWorld(seed uint64, ber float64, slaves int, trace io.Writer) (*core.Simulation, *baseband.Device, []*baseband.Device) {
+	s := core.NewSimulation(core.Options{Seed: seed, BER: ber, TraceTo: trace})
+	master := s.AddDevice("master", baseband.Config{
+		Addr: baseband.BDAddr{LAP: 0x101000, UAP: 0x01, NAP: 0x0001},
+	})
+	var devs []*baseband.Device
+	for i := 0; i < slaves; i++ {
+		devs = append(devs, s.AddDevice(fmt.Sprintf("slave%d", i+1), baseband.Config{
+			Addr: baseband.BDAddr{LAP: 0x202000 + uint32(i)*0x10100, UAP: uint8(i + 2), NAP: 0x0002},
+		}))
+	}
+	return s, master, devs
+}
+
+// runScenario drives one scenario on its own simulation world. logf
+// receives the narrative a single interactive run prints (nil for the
+// silent replicas of a -trials campaign); the returned outcome carries
+// the statistics either way. Setup failures under heavy noise panic,
+// as BuildPiconet does — the -trials path recovers per replica, a
+// single run crashes loudly.
+func runScenario(scenario string, seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var out trialOutcome
+	out.Out = stats.CounterMap{}
+	s, master, devs := buildWorld(seed, p.ber, p.slaves, trace)
+
+	switch scenario {
+	case "discovery":
+		for _, d := range devs {
+			d.StartInquiryScan()
+		}
+		logf("master entering INQUIRY; slaves in INQUIRY SCAN\n")
+		found := 0
+		master.StartInquiry(4096, len(devs), func(rs []baseband.InquiryResult, ok bool) {
+			logf("inquiry complete after %d slots: %d device(s) found (ok=%v)\n",
+				master.InquirySlots(), len(rs), ok)
+			for _, r := range rs {
+				logf("  found %v class=%06X clkn=%d\n", r.Addr, r.Class, r.CLKN)
+			}
+			found = len(rs)
+			out.Out.Observe("inquiry_ok", ok)
+		})
+		s.RunSlots(5000)
+		out.Out.Observe("all_found", found == len(devs))
+	case "creation":
+		logf("building piconet: master + %d slaves (paper Fig 5 scenario)\n", len(devs))
+		links := s.BuildPiconet(master, devs...)
+		out.Out.Observe("setup_ok", true)
+		for _, l := range links {
+			logf("  connected %v as AM_ADDR %d at slot %d\n", l.Peer, l.AMAddr, s.Now())
+		}
+		if len(links) > 0 {
+			links[0].Send([]byte("hello piconet"), packet.LLIDL2CAPStart)
+		}
+		s.RunSlots(p.slots)
+	case "sniff":
+		links := s.BuildPiconet(master, devs...)
+		out.Out.Observe("setup_ok", true)
+		logf("piconet up; putting %d slave(s) into SNIFF (Tsniff=%d slots) — paper Fig 9\n",
+			max(len(links)-1, 1), p.tsniff)
+		// First slave stays active (as in Fig 9), the rest sniff.
+		for i := 1; i < len(links); i++ {
+			links[i].EnterSniff(p.tsniff, 2, 0)
+			devs[i].MasterLink().EnterSniff(p.tsniff, 2, 0)
+		}
+		if len(links) == 1 {
+			links[0].EnterSniff(p.tsniff, 2, 0)
+			devs[0].MasterLink().EnterSniff(p.tsniff, 2, 0)
+		}
+		for _, d := range devs {
+			core.ResetMeters(d)
+		}
+		s.RunSlots(p.slots)
+	case "hold":
+		links := s.BuildPiconet(master, devs...)
+		out.Out.Observe("setup_ok", true)
+		logf("piconet up; slaves entering repeating HOLD (Thold=%d slots) — paper Fig 12 workload\n", p.thold)
+		for i, l := range links {
+			l.EnterHoldRepeating(p.thold)
+			devs[i].MasterLink().EnterHoldRepeating(p.thold)
+		}
+		for _, d := range devs {
+			core.ResetMeters(d)
+		}
+		s.RunSlots(p.slots)
+	case "park":
+		links := s.BuildPiconet(master, devs...)
+		out.Out.Observe("setup_ok", true)
+		logf("piconet up; parking every slave (beacon every 64 slots)\n")
+		for i, l := range links {
+			l.EnterPark(64)
+			devs[i].MasterLink().EnterPark(64)
+		}
+		for _, d := range devs {
+			core.ResetMeters(d)
+		}
+		s.RunSlots(p.slots)
+	case "transfer":
+		links := s.BuildPiconet(master, devs...)
+		out.Out.Observe("setup_ok", true)
+		total := 0
+		for _, d := range devs {
+			d.OnData = func(_ *baseband.Link, pl []byte, _ uint8) { total += len(pl) }
+		}
+		const chunk = 1024
+		for _, l := range links {
+			l.PacketType = packet.TypeDM3
+			l.Send(make([]byte, chunk), packet.LLIDL2CAPStart)
+		}
+		logf("piconet up; sending %d bytes to each of %d slaves (DM3, BER from -ber)\n", chunk, len(links))
+		s.RunSlots(p.slots)
+		logf("delivered %d/%d bytes; master retransmissions: %d\n",
+			total, chunk*len(links), master.Counters.Retransmits)
+		out.Out.Observe("all_delivered", total == chunk*len(links))
+	default:
+		panic(fmt.Sprintf("unknown scenario %q", scenario))
+	}
+
+	for _, d := range devs {
+		tx, rx := core.Activity(d)
+		out.Tx.Add(tx)
+		out.Rx.Add(rx)
+	}
+	return s, out
+}

@@ -7,9 +7,13 @@
 //
 // The public API lives in internal/core (simulation assembly and
 // scenario helpers), internal/baseband (devices, links, power modes),
-// internal/lmp and internal/hci; see README.md for a tour and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate each figure; run them with
+// internal/lmp and internal/hci. internal/runner is the declarative
+// trial engine: experiment sweeps declare their axes and a per-seed
+// trial function, and the engine fans the replicas out across a worker
+// pool while keeping every table byte-identical to a serial run. See
+// README.md for a package tour and EXPERIMENTS.md for the figure-by-
+// figure reproduction guide. The benchmarks in bench_test.go regenerate
+// each figure; run them with
 //
 //	go test -bench=. -benchmem
 package repro

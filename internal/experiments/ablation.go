@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/baseband"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -13,31 +14,37 @@ type AblationRow struct {
 	FailRate float64
 }
 
+// inquiryAblation runs the shared shape of the design sweeps: an
+// inquiry attempt per (param, seed) with one config knob set per point,
+// fanned out by the runner and folded per point in replica order.
+func inquiryAblation(name string, params []int, ber float64, seeds int, seedOf func(replica int) uint64, set func(*baseband.Config, int)) []AblationRow {
+	sw := runner.Sweep[int, phaseStats]{
+		Name:     name,
+		Points:   params,
+		Replicas: seeds,
+		Seed:     func(_, replica int) uint64 { return seedOf(replica) },
+		Trial: func(seed uint64, param int) phaseStats {
+			trial := inquiryTrial(func(c *baseband.Config) { set(c, param) })
+			return trial(seed, BERPoint{Value: ber})
+		},
+	}
+	return runner.ReducePoints(params, sw.Run(runner.Config{}), func(param int, reps []phaseStats) AblationRow {
+		var acc phaseStats
+		for i := range reps {
+			acc.merge(&reps[i])
+		}
+		return AblationRow{Param: param, MeanTS: acc.TS.Mean(), FailRate: acc.Fail.FailureRate()}
+	})
+}
+
 // AblationBackoff sweeps the inquiry-response random-backoff span: a
 // short span speeds discovery (the backoff dominates the inquiry mean)
 // but in dense deployments would collide responses; the spec value is
 // 1023.
 func AblationBackoff(spans []int, ber float64, seeds int) []AblationRow {
-	out := make([]AblationRow, 0, len(spans))
-	for _, span := range spans {
-		var ts stats.Sample
-		var fails stats.Counter
-		for seed := 0; seed < seeds; seed++ {
-			s, m, sl := twoDevicesCfg(uint64(seed)*31337+11, ber, func(c *baseband.Config) {
-				c.BackoffMaxSlots = span
-			})
-			sl.StartInquiryScan()
-			var ok bool
-			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
-			s.RunSlots(TimeoutSlots + 64)
-			fails.Observe(ok)
-			if ok {
-				ts.Add(float64(m.InquirySlots()))
-			}
-		}
-		out = append(out, AblationRow{Param: span, MeanTS: ts.Mean(), FailRate: fails.FailureRate()})
-	}
-	return out
+	return inquiryAblation("ablation-backoff", spans, ber, seeds,
+		func(replica int) uint64 { return uint64(replica)*31337 + 11 },
+		func(c *baseband.Config, span int) { c.BackoffMaxSlots = span })
 }
 
 // AblationNInquiry sweeps the train repetition count: the spec's 256
@@ -45,52 +52,18 @@ func AblationBackoff(spans []int, ber float64, seeds int) []AblationRow {
 // so scanners parked on a B-train phase are never found — the reason the
 // reproduction (and presumably the paper) uses a smaller value.
 func AblationNInquiry(ns []int, ber float64, seeds int) []AblationRow {
-	out := make([]AblationRow, 0, len(ns))
-	for _, n := range ns {
-		var ts stats.Sample
-		var fails stats.Counter
-		for seed := 0; seed < seeds; seed++ {
-			s, m, sl := twoDevicesCfg(uint64(seed)*7451+5, ber, func(c *baseband.Config) {
-				c.NInquiry = n
-			})
-			sl.StartInquiryScan()
-			var ok bool
-			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
-			s.RunSlots(TimeoutSlots + 64)
-			fails.Observe(ok)
-			if ok {
-				ts.Add(float64(m.InquirySlots()))
-			}
-		}
-		out = append(out, AblationRow{Param: n, MeanTS: ts.Mean(), FailRate: fails.FailureRate()})
-	}
-	return out
+	return inquiryAblation("ablation-ninquiry", ns, ber, seeds,
+		func(replica int) uint64 { return uint64(replica)*7451 + 5 },
+		func(c *baseband.Config, n int) { c.NInquiry = n })
 }
 
 // AblationCorrelator sweeps the sync-word error threshold: too strict
 // and noise drops IDs (discovery slows), too loose and false sync would
 // rise in a real radio (the model only shows the robustness side).
 func AblationCorrelator(thresholds []int, ber float64, seeds int) []AblationRow {
-	out := make([]AblationRow, 0, len(thresholds))
-	for _, th := range thresholds {
-		var ts stats.Sample
-		var fails stats.Counter
-		for seed := 0; seed < seeds; seed++ {
-			s, m, sl := twoDevicesCfg(uint64(seed)*94261+17, ber, func(c *baseband.Config) {
-				c.CorrelatorThreshold = th
-			})
-			sl.StartInquiryScan()
-			var ok bool
-			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
-			s.RunSlots(TimeoutSlots + 64)
-			fails.Observe(ok)
-			if ok {
-				ts.Add(float64(m.InquirySlots()))
-			}
-		}
-		out = append(out, AblationRow{Param: th, MeanTS: ts.Mean(), FailRate: fails.FailureRate()})
-	}
-	return out
+	return inquiryAblation("ablation-correlator", thresholds, ber, seeds,
+		func(replica int) uint64 { return uint64(replica)*94261 + 17 },
+		func(c *baseband.Config, th int) { c.CorrelatorThreshold = th })
 }
 
 // AblationTable renders a design sweep.
@@ -116,10 +89,14 @@ type ThroughputRow struct {
 // the DH types win on clean channels and collapse under noise — the
 // packet-choice trade-off the paper's introduction motivates.
 func PacketTypeThroughput(types []packet.Type, bers []BERPoint, measureSlots uint64, seed uint64) []ThroughputRow {
-	out := make([]ThroughputRow, 0, len(types)*len(bers))
-	for _, ty := range types {
-		for _, b := range bers {
-			s, m, sl := twoDevicesCfg(seed+uint64(ty)<<8, b.Value, func(c *baseband.Config) {
+	points := runner.Cross(types, bers)
+	sw := runner.Sweep[runner.Pair[packet.Type, BERPoint], ThroughputRow]{
+		Name:   "throughput",
+		Points: points,
+		Seed:   func(point, _ int) uint64 { return seed + uint64(points[point].A)<<8 },
+		Trial: func(seed uint64, p runner.Pair[packet.Type, BERPoint]) ThroughputRow {
+			ty, b := p.A, p.B
+			s, m, sl := twoDevicesCfg(seed, b.Value, func(c *baseband.Config) {
 				c.TpollSlots = 1 << 20
 			})
 			lks := s.BuildPiconet(m, sl)
@@ -139,15 +116,15 @@ func PacketTypeThroughput(types []packet.Type, bers []BERPoint, measureSlots uin
 			pump()
 			s.RunSlots(measureSlots)
 			seconds := float64(measureSlots) * 625e-6
-			out = append(out, ThroughputRow{
+			return ThroughputRow{
 				Type:       ty,
 				BER:        b,
 				GoodputKbs: float64(received) * 8 / 1000 / seconds,
 				Retransmit: m.Counters.Retransmits,
-			})
-		}
+			}
+		},
 	}
-	return out
+	return runner.Flatten(sw.Run(runner.Config{}))
 }
 
 // ThroughputTable renders the packet-type ablation.

@@ -1,8 +1,11 @@
 // Package experiments regenerates every figure of the paper's evaluation
 // (Figs 5-12) plus the ablations DESIGN.md calls out. Each Fig* function
-// runs fresh simulations — one per (parameter, seed) — and returns typed
-// rows together with a printable table, so the cmd/btexp binary and the
-// benchmark harness share one implementation.
+// declares its sweep — parameter points, replica seeds, a trial kernel —
+// and hands it to internal/runner, which fans the independent replicas
+// out across a worker pool and folds the results back in deterministic
+// replica order. The cmd/btexp binary and the benchmark harness share
+// one implementation; serial and parallel schedules produce byte-for-
+// byte identical tables.
 package experiments
 
 import (
@@ -12,6 +15,7 @@ import (
 	"repro/internal/baseband"
 	"repro/internal/core"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -61,48 +65,87 @@ type PhaseResult struct {
 	N        int
 }
 
+// phaseStats is the mergeable accumulator one creation-phase replica
+// produces: a zero-or-one element time sample plus a one-trial counter.
+// Folding replicas in replica order reproduces the serial accumulation
+// bit for bit, whatever schedule computed them.
+type phaseStats struct {
+	TS   stats.Sample
+	Fail stats.Counter
+}
+
+func (a *phaseStats) merge(b *phaseStats) {
+	a.TS.Merge(&b.TS)
+	a.Fail.Merge(b.Fail)
+}
+
+// phaseResult folds the per-replica accumulators of one sweep point.
+func phaseResult(b BERPoint, reps []phaseStats) PhaseResult {
+	var acc phaseStats
+	for i := range reps {
+		acc.merge(&reps[i])
+	}
+	return PhaseResult{
+		BER:      b,
+		MeanTS:   acc.TS.Mean(),
+		CI95:     acc.TS.CI95(),
+		FailRate: acc.Fail.FailureRate(),
+		N:        acc.Fail.Total,
+	}
+}
+
+// inquiryTrial returns a trial running one inquiry attempt at the
+// point's BER, with mut applied to both ends (nil for the paper setup).
+func inquiryTrial(mut func(*baseband.Config)) func(uint64, BERPoint) phaseStats {
+	return func(seed uint64, b BERPoint) phaseStats {
+		s, m, sl := twoDevicesCfg(seed, b.Value, mut)
+		sl.StartInquiryScan()
+		var ok bool
+		m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
+		s.RunSlots(TimeoutSlots + 64)
+		var out phaseStats
+		out.Fail.Observe(ok)
+		if ok {
+			out.TS.Add(float64(m.InquirySlots()))
+		}
+		return out
+	}
+}
+
 // InquirySweep measures the inquiry phase vs BER (Fig 6 data and the
 // inquiry curve of Fig 8): mean time slots over successful trials, and
 // the failure probability at the paper's timeout.
 func InquirySweep(bers []BERPoint, seeds int) []PhaseResult {
-	out := make([]PhaseResult, 0, len(bers))
-	for _, b := range bers {
-		var ts stats.Sample
-		var fails stats.Counter
-		for seed := 0; seed < seeds; seed++ {
-			s, m, sl := twoDevices(uint64(seed)*7919+1, b.Value)
-			sl.StartInquiryScan()
-			var ok bool
-			m.StartInquiry(TimeoutSlots, 1, func(rs []baseband.InquiryResult, o bool) { ok = o })
-			s.RunSlots(TimeoutSlots + 64)
-			fails.Observe(ok)
-			if ok {
-				ts.Add(float64(m.InquirySlots()))
-			}
-		}
-		out = append(out, PhaseResult{BER: b, MeanTS: ts.Mean(), CI95: ts.CI95(), FailRate: fails.FailureRate(), N: seeds})
+	sw := runner.Sweep[BERPoint, phaseStats]{
+		Name:     "inquiry",
+		Points:   bers,
+		Replicas: seeds,
+		Seed:     func(_, replica int) uint64 { return uint64(replica)*7919 + 1 },
+		Trial:    inquiryTrial(nil),
 	}
-	return out
+	return runner.ReducePoints(bers, sw.Run(runner.Config{}), phaseResult)
 }
 
 // PageSweep measures the page phase vs BER (Fig 7 data and the page
 // curve of Fig 8), with devices already synchronised as after inquiry.
 func PageSweep(bers []BERPoint, seeds int) []PhaseResult {
-	out := make([]PhaseResult, 0, len(bers))
-	for _, b := range bers {
-		var ts stats.Sample
-		var fails stats.Counter
-		for seed := 0; seed < seeds; seed++ {
-			s, m, sl := twoDevices(uint64(seed)*104729+3, b.Value)
+	sw := runner.Sweep[BERPoint, phaseStats]{
+		Name:     "page",
+		Points:   bers,
+		Replicas: seeds,
+		Seed:     func(_, replica int) uint64 { return uint64(replica)*104729 + 3 },
+		Trial: func(seed uint64, b BERPoint) phaseStats {
+			s, m, sl := twoDevices(seed, b.Value)
 			ok, slots := s.RunPageOnly(m, sl, TimeoutSlots)
-			fails.Observe(ok)
+			var out phaseStats
+			out.Fail.Observe(ok)
 			if ok {
-				ts.Add(float64(slots))
+				out.TS.Add(float64(slots))
 			}
-		}
-		out = append(out, PhaseResult{BER: b, MeanTS: ts.Mean(), CI95: ts.CI95(), FailRate: fails.FailureRate(), N: seeds})
+			return out
+		},
 	}
-	return out
+	return runner.ReducePoints(bers, sw.Run(runner.Config{}), phaseResult)
 }
 
 // Fig6Table renders the inquiry sweep as the paper's Fig 6.
@@ -187,31 +230,35 @@ type Fig10Row struct {
 // carry data). The paper's Fig 10: both curves linear, TX above RX,
 // fractions of a percent.
 func Fig10MasterActivity(duties []float64, measureSlots uint64, seed uint64) []Fig10Row {
-	out := make([]Fig10Row, 0, len(duties))
-	for _, duty := range duties {
-		// Polls would add activity on top of data; push Tpoll beyond the
-		// horizon so the duty cycle alone drives the radio.
-		s, m, sl := twoDevicesCfg(seed+uint64(duty*1e6), 0, func(c *baseband.Config) {
-			c.TpollSlots = 1 << 20
-		})
-		lks := s.BuildPiconet(m, sl)
-		l := lks[0]
-		l.PacketType = packet.TypeDM1
-		if duty > 0 {
-			period := uint64(2.0 / duty) // master TX opportunity every 2 slots
-			var pump func()
-			pump = func() {
-				l.Send([]byte{0xAB, 0xCD}, packet.LLIDL2CAPStart)
-				m.After(period, pump)
+	sw := runner.Sweep[float64, Fig10Row]{
+		Name:   "fig10",
+		Points: duties,
+		Seed:   func(point, _ int) uint64 { return seed + uint64(duties[point]*1e6) },
+		Trial: func(seed uint64, duty float64) Fig10Row {
+			// Polls would add activity on top of data; push Tpoll beyond the
+			// horizon so the duty cycle alone drives the radio.
+			s, m, sl := twoDevicesCfg(seed, 0, func(c *baseband.Config) {
+				c.TpollSlots = 1 << 20
+			})
+			lks := s.BuildPiconet(m, sl)
+			l := lks[0]
+			l.PacketType = packet.TypeDM1
+			if duty > 0 {
+				period := uint64(2.0 / duty) // master TX opportunity every 2 slots
+				var pump func()
+				pump = func() {
+					l.Send([]byte{0xAB, 0xCD}, packet.LLIDL2CAPStart)
+					m.After(period, pump)
+				}
+				pump()
 			}
-			pump()
-		}
-		core.ResetMeters(m)
-		s.RunSlots(measureSlots)
-		tx, rx := core.Activity(m)
-		out = append(out, Fig10Row{DutyCycle: duty, TxActivity: tx, RxActivity: rx})
+			core.ResetMeters(m)
+			s.RunSlots(measureSlots)
+			tx, rx := core.Activity(m)
+			return Fig10Row{DutyCycle: duty, TxActivity: tx, RxActivity: rx}
+		},
 	}
-	return out
+	return runner.Flatten(sw.Run(runner.Config{}))
 }
 
 // Fig10Table renders Fig 10.
@@ -232,39 +279,47 @@ type Fig11Row struct {
 
 // Fig11SniffActivity measures slave RF activity (TX+RX) vs Tsniff with
 // the master transmitting a DH3 data packet every dataPeriod slots (the
-// paper fixes 100). The active-mode value is Tsniff-independent.
+// paper fixes 100). The active-mode value is Tsniff-independent; it is
+// measured as the Tsniff=0 point of the same sweep.
 func Fig11SniffActivity(tsniffs []int, dataPeriod int, measureSlots uint64, seed uint64) []Fig11Row {
-	measure := func(tsniff int) float64 {
-		// With data every dataPeriod slots, a Tpoll of the same length
-		// keeps extra polls out of the measurement (the data is the poll).
-		s, m, sl := twoDevicesCfg(seed, 0, func(c *baseband.Config) {
-			c.TpollSlots = dataPeriod
-		})
-		lks := s.BuildPiconet(m, sl)
-		l := lks[0]
-		l.PacketType = packet.TypeDH3
-		if tsniff > 0 {
-			l.EnterSniff(tsniff, 2, 0)
-			sl.MasterLink().EnterSniff(tsniff, 2, 0)
-		}
-		var pump func()
-		pump = func() {
-			if l.QueueLen() == 0 {
-				l.Send(make([]byte, packet.TypeDH3.MaxPayload()), packet.LLIDL2CAPStart)
+	points := append([]int{0}, tsniffs...)
+	sw := runner.Sweep[int, float64]{
+		Name:   "fig11",
+		Points: points,
+		Seed:   func(_, _ int) uint64 { return seed },
+		Trial: func(seed uint64, tsniff int) float64 {
+			// With data every dataPeriod slots, a Tpoll of the same length
+			// keeps extra polls out of the measurement (the data is the poll).
+			s, m, sl := twoDevicesCfg(seed, 0, func(c *baseband.Config) {
+				c.TpollSlots = dataPeriod
+			})
+			lks := s.BuildPiconet(m, sl)
+			l := lks[0]
+			l.PacketType = packet.TypeDH3
+			if tsniff > 0 {
+				l.EnterSniff(tsniff, 2, 0)
+				sl.MasterLink().EnterSniff(tsniff, 2, 0)
 			}
-			m.After(uint64(dataPeriod), pump)
-		}
-		pump()
-		s.RunSlots(uint64(dataPeriod) * 2) // warm up one period
-		core.ResetMeters(sl)
-		s.RunSlots(measureSlots)
-		tx, rx := core.Activity(sl)
-		return tx + rx
+			var pump func()
+			pump = func() {
+				if l.QueueLen() == 0 {
+					l.Send(make([]byte, packet.TypeDH3.MaxPayload()), packet.LLIDL2CAPStart)
+				}
+				m.After(uint64(dataPeriod), pump)
+			}
+			pump()
+			s.RunSlots(uint64(dataPeriod) * 2) // warm up one period
+			core.ResetMeters(sl)
+			s.RunSlots(measureSlots)
+			tx, rx := core.Activity(sl)
+			return tx + rx
+		},
 	}
-	active := measure(0)
+	acts := runner.Flatten(sw.Run(runner.Config{}))
+	active := acts[0]
 	out := make([]Fig11Row, 0, len(tsniffs))
-	for _, t := range tsniffs {
-		out = append(out, Fig11Row{TsniffSlots: t, Active: active, Sniff: measure(t)})
+	for i, t := range tsniffs {
+		out = append(out, Fig11Row{TsniffSlots: t, Active: active, Sniff: acts[i+1]})
 	}
 	return out
 }
@@ -293,28 +348,35 @@ type Fig12Row struct {
 // Fig12HoldActivity measures slave RF activity vs Thold with no user
 // data: active mode costs the carrier-sense windows plus the master's
 // periodic sync polls (the paper's flat 2.6%), hold costs one resync
-// listen per cycle.
+// listen per cycle. Active mode is the Thold=0 point of the same sweep.
 func Fig12HoldActivity(tholds []int, measureSlots uint64, seed uint64) []Fig12Row {
-	measure := func(thold int) float64 {
-		s, m, sl := twoDevices(seed, 0)
-		lks := s.BuildPiconet(m, sl)
-		if thold > 0 {
-			lks[0].EnterHoldRepeating(thold)
-			sl.MasterLink().EnterHoldRepeating(thold)
-			// Let at least one full cycle pass before measuring.
-			s.RunSlots(uint64(thold) + 32)
-		} else {
-			s.RunSlots(64)
-		}
-		core.ResetMeters(sl)
-		s.RunSlots(measureSlots)
-		tx, rx := core.Activity(sl)
-		return tx + rx
+	points := append([]int{0}, tholds...)
+	sw := runner.Sweep[int, float64]{
+		Name:   "fig12",
+		Points: points,
+		Seed:   func(_, _ int) uint64 { return seed },
+		Trial: func(seed uint64, thold int) float64 {
+			s, m, sl := twoDevices(seed, 0)
+			lks := s.BuildPiconet(m, sl)
+			if thold > 0 {
+				lks[0].EnterHoldRepeating(thold)
+				sl.MasterLink().EnterHoldRepeating(thold)
+				// Let at least one full cycle pass before measuring.
+				s.RunSlots(uint64(thold) + 32)
+			} else {
+				s.RunSlots(64)
+			}
+			core.ResetMeters(sl)
+			s.RunSlots(measureSlots)
+			tx, rx := core.Activity(sl)
+			return tx + rx
+		},
 	}
-	active := measure(0)
+	acts := runner.Flatten(sw.Run(runner.Config{}))
+	active := acts[0]
 	out := make([]Fig12Row, 0, len(tholds))
-	for _, th := range tholds {
-		out = append(out, Fig12Row{TholdSlots: th, Active: active, Hold: measure(th)})
+	for i, th := range tholds {
+		out = append(out, Fig12Row{TholdSlots: th, Active: active, Hold: acts[i+1]})
 	}
 	return out
 }

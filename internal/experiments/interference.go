@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hop"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -30,8 +31,8 @@ const (
 // excludes the jammed band — the interference problem of the paper's
 // references [3-5] and the v1.2 fix.
 func Coexistence(duties []float64, measureSlots uint64, seed uint64) []CoexistenceRow {
-	measure := func(duty float64, afh bool) float64 {
-		s, m, sl := twoDevicesCfg(seed+uint64(duty*1000), 0, func(c *baseband.Config) {
+	measure := func(seed uint64, duty float64, afh bool) float64 {
+		s, m, sl := twoDevicesCfg(seed, 0, func(c *baseband.Config) {
 			c.TpollSlots = 1 << 20
 			// Paging hops the full band even under the jammer; a broken
 			// handshake must retry promptly, so scan continuously here.
@@ -64,15 +65,19 @@ func Coexistence(duties []float64, measureSlots uint64, seed uint64) []Coexisten
 		s.RunSlots(measureSlots)
 		return float64(received) * 8 / 1000 / (float64(measureSlots) * 625e-6)
 	}
-	out := make([]CoexistenceRow, 0, len(duties))
-	for _, duty := range duties {
-		out = append(out, CoexistenceRow{
-			JammerDuty: duty,
-			PlainKbs:   measure(duty, false),
-			AFHKbs:     measure(duty, true),
-		})
+	sw := runner.Sweep[float64, CoexistenceRow]{
+		Name:   "coexistence",
+		Points: duties,
+		Seed:   func(point, _ int) uint64 { return seed + uint64(duties[point]*1000) },
+		Trial: func(seed uint64, duty float64) CoexistenceRow {
+			return CoexistenceRow{
+				JammerDuty: duty,
+				PlainKbs:   measure(seed, duty, false),
+				AFHKbs:     measure(seed, duty, true),
+			}
+		},
 	}
-	return out
+	return runner.Flatten(sw.Run(runner.Config{}))
 }
 
 // CoexistenceTable renders the AFH comparison.
@@ -100,55 +105,59 @@ type InterferenceRow struct {
 // piconets share the room: uncoordinated hop sequences collide at the
 // ~1/79 chance level per slot, the scenario of the paper's reference [4].
 func MultiPiconet(counts []int, measureSlots uint64, seed uint64) []InterferenceRow {
-	out := make([]InterferenceRow, 0, len(counts))
-	for _, n := range counts {
-		s := core.NewSimulation(core.Options{Seed: seed + uint64(n)})
-		received := make([]int, n)
-		for i := 0; i < n; i++ {
-			m := s.AddDevice(fmt.Sprintf("master%d", i), baseband.Config{
-				Addr:       baseband.BDAddr{LAP: 0x100000 + uint32(i)*0x1111, UAP: uint8(i + 1)},
-				TpollSlots: 1 << 20,
-			})
-			sl := s.AddDevice(fmt.Sprintf("slave%d", i), baseband.Config{
-				Addr:       baseband.BDAddr{LAP: 0x500000 + uint32(i)*0x2222, UAP: uint8(i + 101)},
-				TpollSlots: 1 << 20,
-				// Other piconets' traffic can collide with the handshake;
-				// scan continuously so retries land promptly.
-				PageScanWindowSlots:   2048,
-				PageScanIntervalSlots: 2048,
-			})
-			lks := s.BuildPiconet(m, sl)
-			l := lks[0]
-			l.PacketType = packet.TypeDM1
-			idx := i
-			sl.OnData = func(_ *baseband.Link, p []byte, llid uint8) { received[idx] += len(p) }
-			chunk := make([]byte, packet.TypeDM1.MaxPayload())
-			var pump func()
-			pump = func() {
-				for l.QueueLen() < 4 {
-					l.Send(chunk, packet.LLIDL2CAPStart)
+	sw := runner.Sweep[int, InterferenceRow]{
+		Name:   "interference",
+		Points: counts,
+		Seed:   func(point, _ int) uint64 { return seed + uint64(counts[point]) },
+		Trial: func(seed uint64, n int) InterferenceRow {
+			s := core.NewSimulation(core.Options{Seed: seed})
+			received := make([]int, n)
+			for i := 0; i < n; i++ {
+				m := s.AddDevice(fmt.Sprintf("master%d", i), baseband.Config{
+					Addr:       baseband.BDAddr{LAP: 0x100000 + uint32(i)*0x1111, UAP: uint8(i + 1)},
+					TpollSlots: 1 << 20,
+				})
+				sl := s.AddDevice(fmt.Sprintf("slave%d", i), baseband.Config{
+					Addr:       baseband.BDAddr{LAP: 0x500000 + uint32(i)*0x2222, UAP: uint8(i + 101)},
+					TpollSlots: 1 << 20,
+					// Other piconets' traffic can collide with the handshake;
+					// scan continuously so retries land promptly.
+					PageScanWindowSlots:   2048,
+					PageScanIntervalSlots: 2048,
+				})
+				lks := s.BuildPiconet(m, sl)
+				l := lks[0]
+				l.PacketType = packet.TypeDM1
+				idx := i
+				sl.OnData = func(_ *baseband.Link, p []byte, llid uint8) { received[idx] += len(p) }
+				chunk := make([]byte, packet.TypeDM1.MaxPayload())
+				var pump func()
+				pump = func() {
+					for l.QueueLen() < 4 {
+						l.Send(chunk, packet.LLIDL2CAPStart)
+					}
+					m.After(2, pump)
 				}
-				m.After(2, pump)
+				pump()
 			}
-			pump()
-		}
-		// Earlier piconets pumped data while later ones were still being
-		// set up; start the measurement window now.
-		for i := range received {
-			received[i] = 0
-		}
-		s.RunSlots(measureSlots)
-		total := 0
-		for _, r := range received {
-			total += r
-		}
-		out = append(out, InterferenceRow{
-			Piconets:   n,
-			PerLinkKbs: float64(total) / float64(n) * 8 / 1000 / (float64(measureSlots) * 625e-6),
-			Collisions: s.Ch.Stats().Collisions,
-		})
+			// Earlier piconets pumped data while later ones were still being
+			// set up; start the measurement window now.
+			for i := range received {
+				received[i] = 0
+			}
+			s.RunSlots(measureSlots)
+			total := 0
+			for _, r := range received {
+				total += r
+			}
+			return InterferenceRow{
+				Piconets:   n,
+				PerLinkKbs: float64(total) / float64(n) * 8 / 1000 / (float64(measureSlots) * 625e-6),
+				Collisions: s.Ch.Stats().Collisions,
+			}
+		},
 	}
-	return out
+	return runner.Flatten(sw.Run(runner.Config{}))
 }
 
 // MultiPiconetTable renders the co-located piconet sweep.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -21,10 +22,14 @@ type VoiceRow struct {
 // reverse — the synchronous-link side of the packet-choice analysis the
 // paper's introduction motivates.
 func VoiceQuality(types []packet.Type, bers []BERPoint, measureSlots uint64, seed uint64) []VoiceRow {
-	out := make([]VoiceRow, 0, len(types)*len(bers))
-	for _, ty := range types {
-		for _, b := range bers {
-			s, m, sl := twoDevicesCfg(seed+uint64(ty), b.Value, nil)
+	points := runner.Cross(types, bers)
+	sw := runner.Sweep[runner.Pair[packet.Type, BERPoint], VoiceRow]{
+		Name:   "voice",
+		Points: points,
+		Seed:   func(point, _ int) uint64 { return seed + uint64(points[point].A) },
+		Trial: func(seed uint64, p runner.Pair[packet.Type, BERPoint]) VoiceRow {
+			ty, b := p.A, p.B
+			s, m, sl := twoDevicesCfg(seed, b.Value, nil)
 			lks := s.BuildPiconet(m, sl)
 			// Full-rate period for the type so capacities are comparable.
 			tsco := map[packet.Type]int{
@@ -51,14 +56,22 @@ func VoiceQuality(types []packet.Type, bers []BERPoint, measureSlots uint64, see
 			}
 			s.RunSlots(measureSlots)
 			if msco.TxFrames == 0 {
-				continue
+				// Degenerate run; filtered out of the table below.
+				return VoiceRow{Type: ty, BER: b, Delivered: -1}
 			}
-			out = append(out, VoiceRow{
+			return VoiceRow{
 				Type:       ty,
 				BER:        b,
 				Delivered:  float64(ssco.RxFrames) / float64(msco.TxFrames),
 				BitPerfect: float64(perfect) / float64(msco.TxFrames),
-			})
+			}
+		},
+	}
+	rows := runner.Flatten(sw.Run(runner.Config{}))
+	out := rows[:0]
+	for _, r := range rows {
+		if r.Delivered >= 0 {
+			out = append(out, r)
 		}
 	}
 	return out

@@ -1,0 +1,229 @@
+// Package runner is the declarative trial engine behind the experiments
+// layer. The paper's evaluation is embarrassingly parallel — every data
+// point is an independent (parameter, seed) replica of a deterministic
+// simulation — so a Sweep describes the axes (parameter points, replica
+// count, seed derivation) plus a Trial function, and the engine fans the
+// replicas out across a worker pool.
+//
+// Determinism is the contract: a Trial must build its own simulation
+// world (its own sim.Kernel) from nothing but the seed and the parameter
+// point, so results depend only on (point, replica) and never on the
+// execution schedule. The engine stores each result at its (point,
+// replica) index, which makes serial, single-worker and N-worker runs
+// produce byte-identical tables.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Serial is the Workers value that runs every trial inline on the
+// calling goroutine, with no pool at all.
+const Serial = -1
+
+// Config controls how a sweep is executed. The zero value uses the
+// package defaults (see SetDefaultWorkers / SetDefaultJobs).
+type Config struct {
+	// Workers is the pool size: 0 uses the package default (which in
+	// turn defaults to GOMAXPROCS), Serial (-1) runs inline on the
+	// calling goroutine, n >= 1 spawns exactly n workers.
+	Workers int
+	// Jobs is the batch size — how many consecutive replicas one
+	// scheduled job covers. Larger batches amortise scheduling overhead
+	// for very short trials; 0 uses the package default (1).
+	Jobs int
+	// Progress, when non-nil, overrides the package-level progress hook
+	// for this run. It is called with the completed and total trial
+	// counts after every batch, from whichever worker finished it.
+	Progress func(name string, done, total int)
+}
+
+var (
+	defaultWorkers atomic.Int64 // 0 => GOMAXPROCS
+	defaultJobs    atomic.Int64 // 0 => 1
+
+	progressMu   sync.Mutex
+	progressHook func(name string, done, total int)
+)
+
+// SetDefaultWorkers sets the pool size used by sweeps whose Config
+// leaves Workers at 0. n = 0 restores the GOMAXPROCS default; Serial
+// (-1) makes every such sweep run inline. cmd binaries wire their
+// -workers flag here so the experiments API needs no plumbing.
+func SetDefaultWorkers(n int) { defaultWorkers.Store(int64(n)) }
+
+// DefaultWorkers reports the effective default pool size.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n != 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultJobs sets the batch size used by sweeps whose Config leaves
+// Jobs at 0 (values < 1 restore the default of one replica per job).
+func SetDefaultJobs(n int) { defaultJobs.Store(int64(n)) }
+
+// SetProgress installs a package-level progress hook streamed by every
+// sweep that does not carry its own (nil disables). cmd/btexp uses this
+// to render live per-sweep progress on stderr.
+func SetProgress(fn func(name string, done, total int)) {
+	progressMu.Lock()
+	progressHook = fn
+	progressMu.Unlock()
+}
+
+func defaultProgress() func(name string, done, total int) {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	return progressHook
+}
+
+// Sweep describes one embarrassingly parallel experiment: Replicas
+// independent trials at each point of Points.
+type Sweep[P, R any] struct {
+	// Name labels the sweep in progress reports.
+	Name string
+	// Points are the parameter axis (BER points, Tsniff values, config
+	// variants — anything the Trial understands).
+	Points []P
+	// Replicas is the number of independent trials per point (>= 1).
+	Replicas int
+	// Seed derives the trial seed from the point and replica indices.
+	// Nil uses uint64(replica)*1_000_003 + uint64(point) + 1. The seed,
+	// not the schedule, must be the only source of randomness.
+	Seed func(point, replica int) uint64
+	// Trial runs one replica and returns its result. It must be pure up
+	// to the seed: no shared mutable state, its own simulation world.
+	Trial func(seed uint64, p P) R
+}
+
+// Run executes the sweep under cfg and returns the results indexed as
+// [point][replica]. The indexing — not completion order — defines the
+// layout, so any worker count yields identical output.
+func (s Sweep[P, R]) Run(cfg Config) [][]R {
+	if s.Trial == nil {
+		panic("runner: Sweep.Trial is nil")
+	}
+	replicas := s.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	seedOf := s.Seed
+	if seedOf == nil {
+		seedOf = func(point, replica int) uint64 {
+			return uint64(replica)*1_000_003 + uint64(point) + 1
+		}
+	}
+	results := make([][]R, len(s.Points))
+	for i := range results {
+		results[i] = make([]R, replicas)
+	}
+	total := len(s.Points) * replicas
+	if total == 0 {
+		return results
+	}
+
+	progress := cfg.Progress
+	if progress == nil {
+		progress = defaultProgress()
+	}
+	var done atomic.Int64
+	report := func(n int) {
+		if progress == nil {
+			return
+		}
+		progress(s.Name, int(done.Add(int64(n))), total)
+	}
+
+	// One flat trial index per (point, replica); a job is a batch of
+	// consecutive indices claimed with an atomic cursor.
+	batch := cfg.Jobs
+	if batch < 1 {
+		if batch = int(defaultJobs.Load()); batch < 1 {
+			batch = 1
+		}
+	}
+	runRange := func(start, end int) {
+		for j := start; j < end; j++ {
+			point, replica := j/replicas, j%replicas
+			results[point][replica] = s.Trial(seedOf(point, replica), s.Points[point])
+		}
+		report(end - start)
+	}
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers <= Serial {
+		workers = Serial
+	}
+	if workers == Serial {
+		for start := 0; start < total; start += batch {
+			runRange(start, min(start+batch, total))
+		}
+		return results
+	}
+	if max := (total + batch - 1) / batch; workers > max {
+		workers = max
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(batch))) - batch
+				if start >= total {
+					return
+				}
+				runRange(start, min(start+batch, total))
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// ReducePoints folds the replica results of each point — in replica
+// order, so reductions built on order-sensitive accumulators stay
+// deterministic — into one output row per point.
+func ReducePoints[P, R, Out any](points []P, results [][]R, reduce func(p P, rs []R) Out) []Out {
+	out := make([]Out, len(points))
+	for i, p := range points {
+		out[i] = reduce(p, results[i])
+	}
+	return out
+}
+
+// Flatten returns the first replica of every point — the result shape
+// of single-replica sweeps, where each point is one measurement.
+func Flatten[R any](results [][]R) []R {
+	out := make([]R, len(results))
+	for i, rs := range results {
+		out[i] = rs[0]
+	}
+	return out
+}
+
+// Pair is one cell of a two-axis sweep.
+type Pair[A, B any] struct {
+	A A
+	B B
+}
+
+// Cross returns the row-major cross product of two axes, the point set
+// for sweeps over e.g. (packet type, BER).
+func Cross[A, B any](as []A, bs []B) []Pair[A, B] {
+	out := make([]Pair[A, B], 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Pair[A, B]{a, b})
+		}
+	}
+	return out
+}

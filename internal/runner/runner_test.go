@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// collatzLen is a tiny deterministic "simulation": the trial result
+// depends only on its inputs, like a seeded kernel run.
+func collatzLen(seed uint64, p int) int {
+	n := seed + uint64(p)*17
+	steps := 0
+	for n > 1 {
+		if n%2 == 0 {
+			n /= 2
+		} else {
+			n = 3*n + 1
+		}
+		steps++
+	}
+	return steps
+}
+
+func testSweep(points, replicas int) Sweep[int, int] {
+	pts := make([]int, points)
+	for i := range pts {
+		pts[i] = i * 3
+	}
+	return Sweep[int, int]{
+		Name:     "test",
+		Points:   pts,
+		Replicas: replicas,
+		Seed:     func(point, replica int) uint64 { return uint64(point)<<16 | uint64(replica) },
+		Trial:    collatzLen,
+	}
+}
+
+func TestRunShapeAndPlacement(t *testing.T) {
+	sw := testSweep(5, 7)
+	res := sw.Run(Config{Workers: Serial})
+	if len(res) != 5 {
+		t.Fatalf("points = %d", len(res))
+	}
+	for p, rs := range res {
+		if len(rs) != 7 {
+			t.Fatalf("point %d has %d replicas", p, len(rs))
+		}
+		for r, got := range rs {
+			want := collatzLen(sw.Seed(p, r), sw.Points[p])
+			if got != want {
+				t.Fatalf("res[%d][%d] = %d, want %d", p, r, got, want)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossSchedules(t *testing.T) {
+	sw := testSweep(8, 40)
+	want := sw.Run(Config{Workers: Serial})
+	for _, cfg := range []Config{
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: 16},
+		{Workers: 4, Jobs: 7},
+		{Workers: 3, Jobs: 1000}, // batch larger than the sweep
+	} {
+		got := sw.Run(cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("config %+v changed results", cfg)
+		}
+	}
+}
+
+func TestRunProgressCountsEveryTrial(t *testing.T) {
+	sw := testSweep(4, 9)
+	var calls, last atomic.Int64
+	sw.Run(Config{Workers: 4, Progress: func(name string, done, total int) {
+		if name != "test" {
+			t.Errorf("progress name = %q", name)
+		}
+		if total != 36 {
+			t.Errorf("total = %d", total)
+		}
+		calls.Add(1)
+		if int64(done) > last.Load() {
+			last.Store(int64(done))
+		}
+	}})
+	if calls.Load() != 36 {
+		t.Fatalf("progress calls = %d, want 36 (one per trial at batch 1)", calls.Load())
+	}
+	if last.Load() != 36 {
+		t.Fatalf("final done = %d", last.Load())
+	}
+}
+
+func TestRunEmptyAndDegenerate(t *testing.T) {
+	sw := testSweep(0, 5)
+	if res := sw.Run(Config{}); len(res) != 0 {
+		t.Fatalf("empty sweep returned %d points", len(res))
+	}
+	// Replicas < 1 is clamped to one replica.
+	sw = testSweep(2, 0)
+	res := sw.Run(Config{})
+	if len(res) != 2 || len(res[0]) != 1 {
+		t.Fatalf("degenerate sweep shape: %d points, %d replicas", len(res), len(res[0]))
+	}
+}
+
+func TestDefaultSeedIsPerTrialUnique(t *testing.T) {
+	sw := Sweep[int, uint64]{
+		Points:   []int{0, 1, 2},
+		Replicas: 50,
+		Trial:    func(seed uint64, _ int) uint64 { return seed },
+	}
+	res := sw.Run(Config{Workers: 2})
+	seen := make(map[uint64]bool)
+	for _, rs := range res {
+		for _, s := range rs {
+			if seen[s] {
+				t.Fatalf("duplicate default seed %d", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestFlattenAndCross(t *testing.T) {
+	got := Flatten([][]int{{1, 9}, {2}, {3}})
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	pairs := Cross([]string{"a", "b"}, []int{1, 2, 3})
+	if len(pairs) != 6 || pairs[0] != (Pair[string, int]{"a", 1}) || pairs[5] != (Pair[string, int]{"b", 3}) {
+		t.Fatalf("Cross = %v", pairs)
+	}
+}
+
+func TestDefaultWorkersOverride(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if DefaultWorkers() != 3 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers fallback = %d", DefaultWorkers())
+	}
+	// Serial default still runs correctly.
+	SetDefaultWorkers(Serial)
+	sw := testSweep(3, 4)
+	if !reflect.DeepEqual(sw.Run(Config{}), sw.Run(Config{Workers: 2})) {
+		t.Fatal("serial default diverged from pool run")
+	}
+}
+
+func TestReducePoints(t *testing.T) {
+	sw := testSweep(3, 5)
+	res := sw.Run(Config{Workers: 2})
+	sums := ReducePoints(sw.Points, res, func(p int, rs []int) string {
+		total := 0
+		for _, r := range rs {
+			total += r
+		}
+		return fmt.Sprintf("%d:%d", p, total)
+	})
+	if len(sums) != 3 {
+		t.Fatalf("sums = %v", sums)
+	}
+	for i, s := range sums {
+		want := 0
+		for r := 0; r < 5; r++ {
+			want += collatzLen(sw.Seed(i, r), sw.Points[i])
+		}
+		if s != fmt.Sprintf("%d:%d", sw.Points[i], want) {
+			t.Fatalf("sums[%d] = %q", i, s)
+		}
+	}
+}

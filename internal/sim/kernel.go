@@ -99,14 +99,15 @@ func (q *eventQueue) Pop() any {
 // Kernel is the simulation scheduler. The zero value is not usable; create
 // one with NewKernel.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
-	pending map[EventID]*scheduledEvent
-	nextSeq uint64
-	nextID  EventID
-	running bool
-	stopped bool
-	tracers []Tracer
+	now       Time
+	queue     eventQueue
+	pending   map[EventID]*scheduledEvent
+	cancelled int // cancelled entries still sitting in queue
+	nextSeq   uint64
+	nextID    EventID
+	running   bool
+	stopped   bool
+	tracers   []Tracer
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -144,6 +145,11 @@ func (k *Kernel) At(t Time, fn Event) EventID {
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op and reports false.
+//
+// Cancelled entries are dropped lazily when they reach the head of the
+// queue; once they outnumber the live entries the queue is compacted so
+// cancel-heavy workloads (supervision timeouts re-armed on every packet)
+// keep the heap proportional to the live event count.
 func (k *Kernel) Cancel(id EventID) bool {
 	ev, ok := k.pending[id]
 	if !ok {
@@ -151,7 +157,36 @@ func (k *Kernel) Cancel(id EventID) bool {
 	}
 	ev.cancel = true
 	delete(k.pending, id)
+	k.cancelled++
+	if k.cancelled > len(k.queue)/2 && len(k.queue) >= minCompactLen {
+		k.compact()
+	}
 	return true
+}
+
+// minCompactLen keeps compaction from churning on tiny queues, where
+// lazy deletion is cheaper than a rebuild.
+const minCompactLen = 64
+
+// compact rebuilds the heap without the cancelled entries. Ordering is
+// untouched: the heap invariant is re-established over the same (at,
+// seq) keys, so compaction can never change the event schedule.
+func (k *Kernel) compact() {
+	live := k.queue[:0]
+	for _, ev := range k.queue {
+		if !ev.cancel {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = live
+	for i, ev := range k.queue {
+		ev.index = i
+	}
+	heap.Init(&k.queue)
+	k.cancelled = 0
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
@@ -178,6 +213,7 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		}
 		heap.Pop(&k.queue)
 		if ev.cancel {
+			k.cancelled--
 			continue
 		}
 		delete(k.pending, ev.id)
@@ -196,6 +232,7 @@ func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		ev := heap.Pop(&k.queue).(*scheduledEvent)
 		if ev.cancel {
+			k.cancelled--
 			continue
 		}
 		delete(k.pending, ev.id)

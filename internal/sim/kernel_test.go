@@ -186,3 +186,80 @@ func TestRunUntilReentryPanics(t *testing.T) {
 	})
 	k.Run()
 }
+
+func TestCancelCompactsQueue(t *testing.T) {
+	k := NewKernel()
+	nop := func() {}
+	// Schedule far-future events and cancel almost all of them, the
+	// supervision-timeout pattern: a timer re-armed on every packet.
+	const n = 10000
+	ids := make([]EventID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, k.Schedule(Slots(uint64(1000+i)), nop))
+	}
+	for _, id := range ids[:n-1] {
+		if !k.Cancel(id) {
+			t.Fatal("cancel failed")
+		}
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	// Compaction must have dropped the cancelled entries instead of
+	// retaining them until their (distant) due times are popped.
+	if len(k.queue) > minCompactLen {
+		t.Fatalf("queue holds %d entries for 1 live event", len(k.queue))
+	}
+	if k.cancelled > len(k.queue) {
+		t.Fatalf("cancelled count %d exceeds queue length %d", k.cancelled, len(k.queue))
+	}
+}
+
+func TestCancelCompactionPreservesOrder(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	ids := make([]EventID, 0, 512)
+	for i := 0; i < 512; i++ {
+		i := i
+		// Interleave due times so the heap is well shuffled.
+		ids = append(ids, k.Schedule(Slots(uint64((i*37)%512)), func() {
+			fired = append(fired, i)
+		}))
+	}
+	// Cancel two thirds, forcing at least one compaction.
+	for i, id := range ids {
+		if i%3 != 0 {
+			k.Cancel(id)
+		}
+	}
+	k.Run()
+	if len(fired) != 512/3+1 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	for j := 1; j < len(fired); j++ {
+		a, b := fired[j-1], fired[j]
+		ta, tb := (a*37)%512, (b*37)%512
+		if ta > tb || (ta == tb && a > b) {
+			t.Fatalf("order violated: event %d (t=%d) before %d (t=%d)", a, ta, b, tb)
+		}
+	}
+}
+
+func TestCancelHeavyChurnStaysBounded(t *testing.T) {
+	k := NewKernel()
+	nop := func() {}
+	// Continuously re-armed timeout: schedule, cancel, re-schedule.
+	var id EventID
+	id = k.Schedule(Slots(100000), nop)
+	maxLen := 0
+	for i := 0; i < 50000; i++ {
+		k.Cancel(id)
+		id = k.Schedule(Slots(100000+uint64(i)), nop)
+		if len(k.queue) > maxLen {
+			maxLen = len(k.queue)
+		}
+	}
+	if maxLen > 4*minCompactLen {
+		t.Fatalf("queue grew to %d entries under cancel churn", maxLen)
+	}
+}

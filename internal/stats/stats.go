@@ -18,6 +18,11 @@ type Sample struct {
 // Add appends an observation.
 func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
 
+// Merge appends every observation of o to s, preserving o's order. It
+// is the accumulator-combining half of the parallel runner: replica
+// samples merged in replica order reproduce the serial sample exactly.
+func (s *Sample) Merge(o *Sample) { s.xs = append(s.xs, o.xs...) }
+
 // N returns the observation count.
 func (s *Sample) N() int { return len(s.xs) }
 
@@ -130,6 +135,60 @@ func (c *Counter) FailureRate() float64 {
 		return 0
 	}
 	return 1 - c.Rate()
+}
+
+// Merge adds o's trials to c.
+func (c *Counter) Merge(o Counter) {
+	c.Success += o.Success
+	c.Total += o.Total
+}
+
+// CounterMap tracks success rates under string keys — per-outcome or
+// per-scenario counters that parallel replicas produce independently
+// and the runner folds together.
+type CounterMap map[string]*Counter
+
+// Observe records one trial under key, creating the counter on first use.
+func (m CounterMap) Observe(key string, ok bool) {
+	c := m[key]
+	if c == nil {
+		c = &Counter{}
+		m[key] = c
+	}
+	c.Observe(ok)
+}
+
+// Get returns the counter for key (a zero Counter if absent).
+func (m CounterMap) Get(key string) Counter {
+	if c := m[key]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// Merge folds every counter of o into m.
+func (m CounterMap) Merge(o CounterMap) {
+	for k, c := range o {
+		if c == nil {
+			continue
+		}
+		dst := m[k]
+		if dst == nil {
+			dst = &Counter{}
+			m[k] = dst
+		}
+		dst.Merge(*c)
+	}
+}
+
+// Keys returns the keys in sorted order, for deterministic reports.
+func (m CounterMap) Keys() []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Table is a simple fixed-column report the experiment binaries print;

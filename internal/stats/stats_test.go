@@ -128,3 +128,76 @@ func TestTableIntFormatting(t *testing.T) {
 		t.Fatal("empty title must not render a banner")
 	}
 }
+
+func TestSampleMergeReproducesSerial(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var serial Sample
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	// Split into per-replica chunks and merge in order, as the parallel
+	// runner's reduction does.
+	var merged Sample
+	for i := 0; i < len(xs); i += 3 {
+		var chunk Sample
+		for _, x := range xs[i:min(i+3, len(xs))] {
+			chunk.Add(x)
+		}
+		merged.Merge(&chunk)
+	}
+	if merged.N() != serial.N() || merged.Mean() != serial.Mean() ||
+		merged.StdDev() != serial.StdDev() || merged.CI95() != serial.CI95() {
+		t.Fatalf("merged sample differs: n=%d mean=%v vs n=%d mean=%v",
+			merged.N(), merged.Mean(), serial.N(), serial.Mean())
+	}
+	if merged.Quantile(0.5) != serial.Quantile(0.5) {
+		t.Fatal("merged quantile differs")
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	a.Observe(true)
+	a.Observe(false)
+	b.Observe(true)
+	b.Observe(true)
+	a.Merge(b)
+	if a.Total != 4 || a.Success != 3 {
+		t.Fatalf("merged counter = %+v", a)
+	}
+	if a.Rate() != 0.75 {
+		t.Fatalf("rate = %v", a.Rate())
+	}
+}
+
+func TestCounterMap(t *testing.T) {
+	m := CounterMap{}
+	m.Observe("created", true)
+	m.Observe("created", false)
+	m.Observe("aborted", true)
+
+	o := CounterMap{}
+	o.Observe("created", true)
+	o.Observe("timeout", false)
+	m.Merge(o)
+
+	if got := m.Get("created"); got.Total != 3 || got.Success != 2 {
+		t.Fatalf("created = %+v", got)
+	}
+	if got := m.Get("timeout"); got.Total != 1 || got.Success != 0 {
+		t.Fatalf("timeout = %+v", got)
+	}
+	if got := m.Get("missing"); got.Total != 0 {
+		t.Fatalf("missing key = %+v", got)
+	}
+	want := []string{"aborted", "created", "timeout"}
+	keys := m.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
