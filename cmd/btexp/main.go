@@ -36,7 +36,7 @@ func stderrIsTerminal() bool {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference")
+	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive")
 	seeds := flag.Int("seeds", 40, "simulation repetitions per sweep point (Figs 6-8)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "output file for waveform figures (5, 9); default fig<N>.vcd")
@@ -166,6 +166,12 @@ func main() {
 		case "interference":
 			rows := experiments.MultiPiconet([]int{1, 2, 3, 4}, 20000, *seed)
 			emit(experiments.MultiPiconetTable(rows))
+		case "coex":
+			rows := experiments.CoexSweep([]int{1, 2, 3, 4, 5, 6, 7, 8}, 20000, 4, *seed)
+			emit(experiments.CoexTable(rows))
+		case "afh-adaptive":
+			rows := experiments.AdaptiveAFH([]int{7, 15, 23, 31, 39}, 0.9, 2000, 20000, *seed)
+			emit(experiments.AdaptiveAFHTable(0.9, rows))
 		case "throughput":
 			rows := experiments.PacketTypeThroughput(
 				[]packet.Type{packet.TypeDM1, packet.TypeDH1, packet.TypeDM3,

@@ -8,6 +8,12 @@
 // internal/runner worker pool, and btsim reports the merged outcome and
 // RF-activity statistics.
 //
+// The coexistence scenarios (coex, coex2, coex4) stand several
+// independent piconets up on one shared medium and report per-piconet
+// goodput plus inter-piconet collision statistics; afh-adaptive runs one
+// piconet under an 802.11-style jammer with adaptive channel
+// classification learning the hop set on the air.
+//
 // Usage:
 //
 //	btsim -scenario creation -slaves 3 -vcd creation.vcd
@@ -17,6 +23,9 @@
 //	btsim -scenario hold -thold 400
 //	btsim -scenario park
 //	btsim -scenario transfer -ber 0.003
+//	btsim -scenario coex4 -slots 4000
+//	btsim -scenario coex -piconets 6 -trials 50 -workers 8
+//	btsim -scenario afh-adaptive -jam-duty 0.9 -assess-window 2000
 package main
 
 import (
@@ -29,7 +38,8 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "creation", "creation | discovery | sniff | hold | park | transfer")
+	scenario := flag.String("scenario", "creation",
+		"creation | discovery | sniff | hold | park | transfer | coex | coex2 | coex4 | afh-adaptive")
 	slaves := flag.Int("slaves", 3, "number of slaves in the piconet")
 	ber := flag.Float64("ber", 0, "channel bit error rate")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -37,6 +47,10 @@ func main() {
 	slots := flag.Uint64("slots", 2000, "extra slots to run after setup")
 	tsniff := flag.Int("tsniff", 100, "Tsniff in slots (sniff scenario)")
 	thold := flag.Int("thold", 400, "Thold in slots (hold scenario)")
+	piconets := flag.Int("piconets", 2, "co-located piconets (coex scenario)")
+	assessWindow := flag.Int("assess-window", 2000, "channel-assessment window in slots (afh-adaptive scenario)")
+	jamDuty := flag.Float64("jam-duty", 0.9, "jammer duty cycle (afh-adaptive scenario)")
+	jamWidth := flag.Int("jam-width", 23, "jammed channels starting at channel 30 (afh-adaptive scenario)")
 	trials := flag.Int("trials", 1, "replicate the scenario this many times through the parallel runner")
 	workers := flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS, -1 = serial)")
 	flag.Parse()
@@ -44,6 +58,12 @@ func main() {
 	p := trialParams{
 		slaves: *slaves, ber: *ber, seed: *seed,
 		slots: *slots, tsniff: *tsniff, thold: *thold,
+		piconets: *piconets, assessWindow: *assessWindow,
+		jamDuty: *jamDuty, jamWidth: *jamWidth,
+	}
+	if err := validateParams(p); err != nil {
+		fmt.Fprintf(os.Stderr, "btsim: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *trials > 1 {

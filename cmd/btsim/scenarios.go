@@ -5,19 +5,26 @@ import (
 	"io"
 
 	"repro/internal/baseband"
+	"repro/internal/channel"
+	"repro/internal/coex"
 	"repro/internal/core"
+	"repro/internal/hop"
 	"repro/internal/packet"
 	"repro/internal/stats"
 )
 
 // trialParams carries the scenario knobs into one run or replica.
 type trialParams struct {
-	slaves int
-	ber    float64
-	seed   uint64
-	slots  uint64
-	tsniff int
-	thold  int
+	slaves       int
+	ber          float64
+	seed         uint64
+	slots        uint64
+	tsniff       int
+	thold        int
+	piconets     int     // coex scenarios: co-located piconets
+	assessWindow int     // afh-adaptive: classification window in slots
+	jamDuty      float64 // afh-adaptive: jammer duty cycle
+	jamWidth     int     // afh-adaptive: jammed channels starting at 30
 }
 
 // trialOutcome is the mergeable result of one scenario run: named
@@ -45,7 +52,8 @@ func (a *trialOutcome) merge(b *trialOutcome) {
 // runScenario switch below is the single list of scenarios.
 func validScenario(name string) bool {
 	switch name {
-	case "creation", "discovery", "sniff", "hold", "park", "transfer":
+	case "creation", "discovery", "sniff", "hold", "park", "transfer",
+		"coex", "coex2", "coex4", "afh-adaptive":
 		return true
 	}
 	return false
@@ -76,6 +84,12 @@ func buildWorld(seed uint64, ber float64, slaves int, trace io.Writer) (*core.Si
 func runScenario(scenario string, seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	switch scenario {
+	case "coex", "coex2", "coex4":
+		return runCoexScenario(scenario, seed, p, trace, logf)
+	case "afh-adaptive":
+		return runAdaptiveScenario(seed, p, trace, logf)
 	}
 	var out trialOutcome
 	out.Out = stats.CounterMap{}
@@ -179,4 +193,165 @@ func runScenario(scenario string, seed uint64, p trialParams, trace io.Writer, l
 		out.Rx.Add(rx)
 	}
 	return s, out
+}
+
+// validateParams rejects flag values that would wrap or hang a run
+// (negative windows convert to huge uint64 horizons).
+func validateParams(p trialParams) error {
+	if p.assessWindow < 1 {
+		return fmt.Errorf("-assess-window must be >= 1, got %d", p.assessWindow)
+	}
+	if p.piconets < 1 {
+		return fmt.Errorf("-piconets must be >= 1, got %d", p.piconets)
+	}
+	if p.jamWidth < 1 || p.jamWidth > hop.NumChannels {
+		return fmt.Errorf("-jam-width must be in 1..%d, got %d", hop.NumChannels, p.jamWidth)
+	}
+	if p.jamDuty < 0 || p.jamDuty > 1 {
+		return fmt.Errorf("-jam-duty must be in 0..1, got %g", p.jamDuty)
+	}
+	if p.tsniff < 1 || p.thold < 1 {
+		return fmt.Errorf("-tsniff and -thold must be >= 1, got %d and %d", p.tsniff, p.thold)
+	}
+	return nil
+}
+
+// coexPiconetCount resolves the piconet count for a coex scenario: the
+// numbered aliases pin it, plain "coex" takes the -piconets flag.
+func coexPiconetCount(scenario string, p trialParams) int {
+	switch scenario {
+	case "coex2":
+		return 2
+	case "coex4":
+		return 4
+	}
+	return max(p.piconets, 1)
+}
+
+// coexSlaves clamps the -slaves flag to the 1..7 a piconet supports.
+func coexSlaves(p trialParams) int {
+	return min(max(p.slaves, 1), 7)
+}
+
+// runCoexScenario stands N independent piconets up on one shared
+// channel and reports per-piconet goodput plus the attributed
+// inter-/intra-piconet collision counts.
+func runCoexScenario(scenario string, seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
+	var out trialOutcome
+	out.Out = stats.CounterMap{}
+	piconets := coexPiconetCount(scenario, p)
+	slaves := coexSlaves(p)
+	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
+	net := coex.Build(s, coex.Config{Piconets: piconets, Slaves: slaves})
+	out.Out.Observe("setup_ok", true)
+	logf("built %d piconets (1 master + %d slave(s) each) on one shared 79-channel medium\n",
+		piconets, slaves)
+	net.StartTraffic()
+	s.RunSlots(64)
+	net.ResetStats()
+	// Channel-level counters are lifetime; snapshot them so the worst-
+	// channel report below covers the same window as the other lines.
+	before := s.Ch.Stats()
+	s.RunSlots(p.slots)
+	tot := net.Totals()
+	for i, bytes := range tot.PerPiconet {
+		logf("  piconet %d: %.1f kbps goodput\n", i, coex.GoodputKbps(bytes, p.slots))
+	}
+	logf("collisions over %d slots: %d inter-piconet, %d intra-piconet; %d master retransmissions\n",
+		p.slots, tot.Inter, tot.Intra, tot.Retransmits)
+	if ch, count := worstChannel(before, s.Ch.Stats()); ch >= 0 {
+		logf("most-collided RF channel this window: %d (%d collisions)\n", ch, count)
+	}
+	out.Out.Observe("all_piconets_delivered", minInt(tot.PerPiconet) > 0)
+	out.Out.Observe("inter_collisions_seen", tot.Inter > 0)
+	addCoexActivity(net, &out)
+	return s, out
+}
+
+// runAdaptiveScenario runs one piconet under an 802.11-style jammer
+// with adaptive channel classification enabled and reports the learned
+// map against the known jammed band.
+func runAdaptiveScenario(seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
+	var out trialOutcome
+	out.Out = stats.CounterMap{}
+	lo := 30
+	hi := lo + max(p.jamWidth, 1) - 1
+	if hi >= hop.NumChannels {
+		hi = hop.NumChannels - 1
+	}
+	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
+	net := coex.Build(s, coex.Config{
+		Piconets:          1,
+		Slaves:            coexSlaves(p),
+		AFH:               coex.AFHAdaptive,
+		AssessWindowSlots: p.assessWindow,
+	})
+	s.Ch.AddJammer(lo, hi, p.jamDuty)
+	out.Out.Observe("setup_ok", true)
+	logf("piconet up under a %d-channel jammer (channels %d-%d, duty %.0f%%); assessing every %d slots\n",
+		hi-lo+1, lo, hi, p.jamDuty*100, p.assessWindow)
+	net.StartTraffic()
+	warm := coex.ConvergenceSlots(p.assessWindow)
+	s.RunSlots(warm)
+	net.ResetStats()
+	s.RunSlots(p.slots)
+	pic := net.Piconets[0]
+	cm := pic.CurrentMap()
+	excluded := 0
+	if cm != nil {
+		for ch := lo; ch <= hi; ch++ {
+			if !cm.Used(ch) {
+				excluded++
+			}
+		}
+		logf("learned channel map after %d update(s): %d/%d channels in use, %d/%d jammed channels excluded\n",
+			pic.MapUpdates, cm.N(), hop.NumChannels, excluded, hi-lo+1)
+	} else {
+		logf("classifier never narrowed the hop set (%d updates)\n", pic.MapUpdates)
+	}
+	tot := net.Totals()
+	logf("goodput over the %d-slot measurement window: %.1f kbps\n",
+		p.slots, coex.GoodputKbps(tot.Bytes, p.slots))
+	out.Out.Observe("map_installed", cm != nil)
+	out.Out.Observe("jam_band_excluded", cm != nil && excluded >= (hi-lo+1)*8/10)
+	addCoexActivity(net, &out)
+	return s, out
+}
+
+// addCoexActivity folds every slave's RF activity into the outcome.
+func addCoexActivity(net *coex.Net, out *trialOutcome) {
+	for _, pic := range net.Piconets {
+		for _, sl := range pic.Slaves {
+			tx, rx := core.Activity(sl)
+			out.Tx.Add(tx)
+			out.Rx.Add(rx)
+		}
+	}
+}
+
+// worstChannel returns the RF channel with the most collisions between
+// two stats snapshots and its count (-1 if the air stayed clean).
+func worstChannel(before, after channel.Stats) (int, int) {
+	best, worst := 0, -1
+	for ch := range after.PerFreq {
+		delta := after.PerFreq[ch].Collisions - before.PerFreq[ch].Collisions
+		if delta > best {
+			best, worst = delta, ch
+		}
+	}
+	return worst, best
+}
+
+// minInt returns the smallest element (0 for an empty slice).
+func minInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
 }

@@ -7,13 +7,16 @@
 //
 // The public API lives in internal/core (simulation assembly and
 // scenario helpers), internal/baseband (devices, links, power modes),
-// internal/lmp and internal/hci. internal/runner is the declarative
-// trial engine: experiment sweeps declare their axes and a per-seed
-// trial function, and the engine fans the replicas out across a worker
-// pool while keeping every table byte-identical to a serial run. See
-// README.md for a package tour and EXPERIMENTS.md for the figure-by-
-// figure reproduction guide. The benchmarks in bench_test.go regenerate
-// each figure; run them with
+// internal/lmp and internal/hci. internal/coex is the multi-piconet
+// coexistence engine: several piconets on one shared medium, with
+// adaptive channel classification learning AFH maps from per-frequency
+// reception errors. internal/runner is the declarative trial engine:
+// experiment sweeps declare their axes and a per-seed trial function,
+// and the engine fans the replicas out across a worker pool while
+// keeping every table byte-identical to a serial run. See README.md for
+// a package tour, ARCHITECTURE.md for the layer map and slot-level data
+// flow, and EXPERIMENTS.md for the figure-by-figure reproduction guide.
+// The benchmarks in bench_test.go regenerate each figure; run them with
 //
 //	go test -bench=. -benchmem
 package repro

@@ -1,0 +1,94 @@
+// Coexistence walkthrough: four independent piconets share the 79
+// channels of the ISM band with an 802.11-style jammer parked on
+// channels 30-52, and every piconet defends itself with adaptive
+// frequency hopping — the master tallies per-frequency reception errors,
+// classifies channels good/bad, and pushes the learned hop set to its
+// slave over LMP. This is the shared-medium scenario of the paper's
+// coexistence references [3-5] with the v1.2 AFH fix learned on the air
+// instead of hand-picked.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/coex"
+	"repro/internal/core"
+	"repro/internal/hop"
+)
+
+func main() {
+	// One world, one shared channel; everything derives from the seed.
+	sim := core.NewSimulation(core.Options{Seed: 2005})
+
+	// An 802.11 DSSS network occupies 23 channels at 90% duty: any
+	// Bluetooth packet on channels 30-52 is destroyed 9 times out of 10.
+	const jamLo, jamHi, jamDuty = 30, 52, 0.9
+	sim.Ch.AddJammer(jamLo, jamHi, jamDuty)
+
+	// Four piconets, each learning its channel map every 1500 slots.
+	net := coex.Build(sim, coex.Config{
+		Piconets:          4,
+		AFH:               coex.AFHAdaptive,
+		AssessWindowSlots: 1500,
+	})
+	fmt.Printf("built %d piconets on one medium, jammer on channels %d-%d (duty %.0f%%)\n\n",
+		len(net.Piconets), jamLo, jamHi, jamDuty*100)
+
+	// Saturating master-to-slave traffic plus the classification loops.
+	net.StartTraffic()
+
+	// Let every master see two assessment windows and switch maps.
+	warmup := coex.ConvergenceSlots(1500)
+	sim.RunSlots(warmup)
+	fmt.Printf("after %d warm-up slots:\n", warmup)
+	for _, p := range net.Piconets {
+		cm := p.CurrentMap()
+		if cm == nil {
+			fmt.Printf("  piconet %d: still hopping all %d channels\n", p.Index, hop.NumChannels)
+			continue
+		}
+		excluded := 0
+		for ch := jamLo; ch <= jamHi; ch++ {
+			if !cm.Used(ch) {
+				excluded++
+			}
+		}
+		fmt.Printf("  piconet %d: learned map uses %d channels, excludes %d/%d jammed ones (%d update(s))\n",
+			p.Index, cm.N(), excluded, jamHi-jamLo+1, p.MapUpdates)
+	}
+
+	// Measure a clean window: goodput per piconet plus the collision
+	// attribution the shared medium produces. Snapshot the channel's
+	// per-frequency counters first, so the window's traffic placement
+	// can be isolated below.
+	const measure = 8000
+	net.ResetStats()
+	before := sim.Ch.Stats()
+	sim.RunSlots(measure)
+	tot := net.Totals()
+	fmt.Printf("\nover a %d-slot measurement window:\n", measure)
+	for i, bytes := range tot.PerPiconet {
+		fmt.Printf("  piconet %d: %.1f kbps goodput\n", i, coex.GoodputKbps(bytes, measure))
+	}
+	fmt.Printf("  collisions: %d inter-piconet, %d intra-piconet; %d retransmissions\n",
+		tot.Inter, tot.Intra, tot.Retransmits)
+
+	// The channel keeps a per-frequency breakdown; differencing the
+	// snapshots shows where this window's traffic actually landed. With
+	// the learned maps installed, essentially nothing hops into the
+	// jammed band any more.
+	after := sim.Ch.Stats()
+	inBand, outBand := 0, 0
+	for ch := range after.PerFreq {
+		delta := after.PerFreq[ch].Transmissions - before.PerFreq[ch].Transmissions
+		if ch >= jamLo && ch <= jamHi {
+			inBand += delta
+		} else {
+			outBand += delta
+		}
+	}
+	fmt.Printf("  transmissions this window: %d inside the jammed band, %d outside (%.2f%% in-band;\n"+
+		"  a full-band hopper would put ~%.0f%% there)\n",
+		inBand, outBand, float64(inBand)/float64(inBand+outBand)*100,
+		float64(jamHi-jamLo+1)/float64(hop.NumChannels)*100)
+}

@@ -92,12 +92,16 @@ func (d *Device) masterSlot() {
 
 // pickLink selects which slave (if any) this transmit slot serves:
 // traffic first, then poll-due links, respecting sniff windows and hold.
+// The data scan starts after the last slave served, so saturated links
+// share the channel round-robin instead of the lowest AM_ADDR
+// monopolising every transmit opportunity.
 func (d *Device) pickLink(now sim.Time) *Link {
 	evenIdx := d.Clock.CLK(now) >> 2
 	tpoll := sim.Time(sim.Slots(uint64(d.cfg.TpollSlots)))
 	var pollDue *Link
 	var withData *Link
-	for am := uint8(1); am <= 7; am++ {
+	for i := uint8(0); i < 7; i++ {
+		am := (d.lastServedAM+i)%7 + 1
 		l, ok := d.links[am]
 		if !ok {
 			continue
@@ -129,6 +133,7 @@ func (d *Device) pickLink(now sim.Time) *Link {
 		}
 	}
 	if withData != nil {
+		d.lastServedAM = withData.AMAddr
 		return withData
 	}
 	return pollDue
@@ -138,17 +143,20 @@ func (d *Device) pickLink(now sim.Time) *Link {
 func (d *Device) masterRx(tx *channel.Transmission, rx *bits.Vec, collided bool) {
 	defer d.rxOff()
 	if collided {
+		d.observeFreq(tx.Freq, false)
 		return
 	}
 	clk := d.Clock.CLK(tx.Start)
 	p, _, err := d.parse(rx, d.cfg.Addr.LAP, d.cfg.Addr.UAP, clk)
 	if err != nil {
 		d.Counters.RxErrors++
+		d.observeFreq(tx.Freq, false)
 		// We cannot attribute the failure to a link (header unknown), so
 		// no ARQ update; the pending packet retransmits on timeout.
 		return
 	}
 	d.Counters.RxPackets++
+	d.observeFreq(tx.Freq, true)
 	if p.Header.Type.IsSCO() {
 		if l, ok := d.links[p.Header.AMAddr]; ok {
 			l.lastHeardAt = d.now()
@@ -302,6 +310,7 @@ func (d *Device) slaveRx(tx *channel.Transmission, rx *bits.Vec, collided bool) 
 	}
 	if collided {
 		d.rxOff()
+		d.observeFreq(tx.Freq, false)
 		l.rxFailed()
 		return
 	}
@@ -310,10 +319,12 @@ func (d *Device) slaveRx(tx *channel.Transmission, rx *bits.Vec, collided bool) 
 	d.rxOff()
 	if err != nil {
 		d.Counters.RxErrors++
+		d.observeFreq(tx.Freq, false)
 		l.rxFailed()
 		return
 	}
 	d.Counters.RxPackets++
+	d.observeFreq(tx.Freq, true)
 	if p.Header.AMAddr != l.AMAddr && p.Header.AMAddr != 0 {
 		return // another member's packet that survived to delivery
 	}

@@ -63,11 +63,13 @@ type Device struct {
 
 	// Connection state.
 	isMaster         bool
+	lastServedAM     uint8           // round-robin anchor for pickLink
 	links            map[uint8]*Link // master: AM_ADDR -> link
 	mlink            *Link           // slave: the link to the master
 	beaconEverySlots int             // park beacon period (master)
 	scoLinks         []*SCOLink      // reserved voice channels
 	afhMap           *hop.ChannelMap // adaptive hop set (nil = all 79)
+	assess           Assessment      // per-frequency reception tallies
 
 	// OnConnected fires when a connection completes (both roles).
 	OnConnected func(l *Link)
@@ -95,6 +97,21 @@ type Counters struct {
 	Retransmits  int
 	DupsFiltered int
 }
+
+// FreqObs tallies reception outcomes on one RF channel.
+type FreqObs struct {
+	OK  int // packets that passed the HEC/CRC checks on this channel
+	Bad int // collisions, jam hits and HEC/CRC failures
+}
+
+// Assessment is the per-frequency channel-assessment tally a device
+// accumulates while in connection state: every reception outcome is
+// booked against the RF channel it arrived on. The coexistence layer's
+// classifier reads a window of these tallies, marks channels with a high
+// error fraction as bad, and installs the surviving set as an AFH
+// channel map over LMP — the learned counterpart of the oracle
+// hop.ExcludeRange maps the early AFH experiments hand-picked.
+type Assessment [hop.NumChannels]FreqObs
 
 // New creates a device attached to a kernel and channel. Traced signals
 // register with whatever tracers are already on the kernel.
@@ -293,6 +310,27 @@ func (d *Device) SetAFH(m *hop.ChannelMap) { d.afhMap = m }
 
 // AFHMap returns the current adaptive channel map (nil = full set).
 func (d *Device) AFHMap() *hop.ChannelMap { return d.afhMap }
+
+// Assessment returns a copy of the per-frequency reception tallies
+// accumulated since the last ResetAssessment.
+func (d *Device) Assessment() Assessment { return d.assess }
+
+// ResetAssessment clears the per-frequency tallies, opening a fresh
+// channel-classification window.
+func (d *Device) ResetAssessment() { d.assess = Assessment{} }
+
+// observeFreq books one connection-state reception outcome against the
+// RF channel it arrived on.
+func (d *Device) observeFreq(freq int, ok bool) {
+	if freq < 0 || freq >= hop.NumChannels {
+		return
+	}
+	if ok {
+		d.assess[freq].OK++
+	} else {
+		d.assess[freq].Bad++
+	}
+}
 
 // chanFreq computes a connection-state frequency through the adaptive
 // channel map.

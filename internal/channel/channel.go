@@ -41,6 +41,16 @@ type Listener interface {
 	RxEnd(tx *Transmission, rx *bits.Vec, collided bool)
 }
 
+// FreqCount tallies the per-RF-channel breakdown of the aggregate
+// counters; the coexistence layer and its adaptive-AFH classifier read
+// these to see where on the band the damage happens.
+type FreqCount struct {
+	Transmissions int
+	Deliveries    int
+	Collisions    int
+	Jammed        int
+}
+
 // Stats counts channel-level events for the experiment reports.
 type Stats struct {
 	Transmissions int
@@ -48,6 +58,9 @@ type Stats struct {
 	Collisions    int // transmissions corrupted by overlap
 	FlippedBits   int // total noise-inverted bits delivered
 	Jammed        int // transmissions destroyed by static interferers
+
+	// PerFreq breaks the counters down by RF channel 0..78.
+	PerFreq [hop.NumChannels]FreqCount
 }
 
 // Config sets the channel's physical parameters.
@@ -76,10 +89,11 @@ type Channel struct {
 	rng *sim.Rand
 	cfg Config
 
-	tuned   map[Listener]*tuneState
-	active  []*Transmission
-	jammers []Jammer
-	stats   Stats
+	tuned       map[Listener]*tuneState
+	active      []*Transmission
+	jammers     []Jammer
+	stats       Stats
+	onCollision func(existing, incoming *Transmission)
 }
 
 type tuneState struct {
@@ -121,6 +135,14 @@ func (c *Channel) AddJammer(lo, hi int, duty float64) {
 // ClearJammers removes all static interferers.
 func (c *Channel) ClearJammers() { c.jammers = nil }
 
+// SetCollisionHook installs fn, invoked once per overlapping
+// transmission pair at the instant the overlap is detected (the already
+// airborne transmission first, the newcomer second). The coexistence
+// layer uses it to attribute collisions to piconets; nil disables.
+func (c *Channel) SetCollisionHook(fn func(existing, incoming *Transmission)) {
+	c.onCollision = fn
+}
+
 // jammed decides whether a transmission on freq is destroyed by an
 // interferer.
 func (c *Channel) jammed(freq int) bool {
@@ -133,7 +155,11 @@ func (c *Channel) jammed(freq int) bool {
 }
 
 // Tune points l's receiver at freq from the current instant. Retuning
-// while a packet is mid-air on the old frequency abandons that packet.
+// while a packet is mid-air abandons that packet and opens a fresh
+// listen window — whatever frequency the retune targets, including the
+// one already tuned. Only an idle retune to the same frequency is a
+// no-op that keeps the original since-time; bouncing away and back
+// mid-packet must not silently rejoin the abandoned reception.
 func (c *Channel) Tune(l Listener, freq int) {
 	if freq < 0 || freq >= hop.NumChannels {
 		panic(fmt.Sprintf("channel: freq %d out of range", freq))
@@ -142,8 +168,8 @@ func (c *Channel) Tune(l Listener, freq int) {
 	if st == nil {
 		st = &tuneState{}
 		c.tuned[l] = st
-	} else if st.freq == freq {
-		return // already there; keep the original since-time
+	} else if st.freq == freq && st.busy == nil {
+		return // already listening idle there; keep the original since-time
 	}
 	st.freq = freq
 	st.since = c.k.Now()
@@ -179,9 +205,11 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 		Meta:  meta,
 	}
 	c.stats.Transmissions++
+	c.stats.PerFreq[freq].Transmissions++
 	if c.jammed(freq) {
 		tx.collided = true
 		c.stats.Jammed++
+		c.stats.PerFreq[freq].Jammed++
 	}
 
 	// Collision resolution: any active transmission overlapping on the
@@ -190,12 +218,17 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 		if other.End > now && other.Freq == freq {
 			if !other.collided {
 				c.stats.Collisions++
+				c.stats.PerFreq[freq].Collisions++
 			}
 			if !tx.collided {
 				c.stats.Collisions++
+				c.stats.PerFreq[freq].Collisions++
 			}
 			other.collided = true
 			tx.collided = true
+			if c.onCollision != nil {
+				c.onCollision(other, tx)
+			}
 		}
 	}
 	c.pruneActive(now)
@@ -235,6 +268,7 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 				continue
 			}
 			c.stats.Deliveries++
+			c.stats.PerFreq[freq].Deliveries++
 			l.RxEnd(tx, c.corrupt(tx.Bits), false)
 		}
 	})

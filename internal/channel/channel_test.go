@@ -252,17 +252,18 @@ func TestMultipleListenersAllReceive(t *testing.T) {
 	}
 }
 
-func TestTuneIdempotentKeepsSince(t *testing.T) {
+func TestTuneIdleIdempotentKeepsSince(t *testing.T) {
 	k, c := setup(0, 0)
 	rx := &fakeRx{name: "r"}
 	c.Tune(rx, 7)
-	k.Schedule(0, func() { c.Transmit("m", 7, vec(100), nil) })
-	// Re-tuning to the same frequency mid-packet must not reset the
-	// since-time (the receiver never left the channel).
-	k.Schedule(50, func() { c.Tune(rx, 7) })
+	// An idle re-tune to the same frequency is a no-op: the receiver
+	// never left the channel, so it stays eligible for a packet that
+	// starts after the original Tune.
+	k.Schedule(0, func() { c.Tune(rx, 7) })
+	k.Schedule(5, func() { c.Transmit("m", 7, vec(100), nil) })
 	k.Run()
 	if len(rx.got) != 1 {
-		t.Fatal("idempotent Tune dropped an in-flight packet")
+		t.Fatal("idle idempotent Tune dropped eligibility")
 	}
 	if c.Tuned(rx) != 7 {
 		t.Fatal("Tuned() wrong")
@@ -270,6 +271,95 @@ func TestTuneIdempotentKeepsSince(t *testing.T) {
 	c.Untune(rx)
 	if c.Tuned(rx) != -1 {
 		t.Fatal("Tuned() after Untune wrong")
+	}
+}
+
+func TestRetuneSameFreqMidPacketAbandons(t *testing.T) {
+	// Regression: Tune to the currently-busy frequency used to
+	// early-return and keep the in-flight reception, so a retune meant
+	// to open a fresh listen window silently rejoined the stale packet.
+	// A mid-packet retune must abandon the reception whatever frequency
+	// it targets, including the one already tuned.
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 7)
+	k.Schedule(0, func() { c.Transmit("m", 7, vec(100), nil) })
+	k.Schedule(50, func() { c.Tune(rx, 7) })
+	k.Run()
+	if len(rx.got) != 0 {
+		t.Fatal("mid-packet same-frequency retune must abandon the packet")
+	}
+	if rx.collided != 0 {
+		t.Fatal("abandoned packet must not be reported at all")
+	}
+}
+
+func TestRetuneAwayAndBackMidPacketAbandons(t *testing.T) {
+	// Bouncing away and back mid-packet must behave exactly like any
+	// other retune: the abandoned packet stays abandoned, and the fresh
+	// window makes the receiver eligible for the next packet only.
+	k, c := setup(0, 0)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 7)
+	k.Schedule(0, func() { c.Transmit("m", 7, vec(100), nil) })
+	k.Schedule(40, func() { c.Tune(rx, 8) })
+	k.Schedule(60, func() { c.Tune(rx, 7) })
+	// The first packet ends at tick 200; a second starts afterwards and
+	// must be received through the re-opened window.
+	k.Schedule(250, func() { c.Transmit("m", 7, vec(50), nil) })
+	k.Run()
+	if len(rx.got) != 1 {
+		t.Fatalf("got %d packets, want 1 (first abandoned, second received)", len(rx.got))
+	}
+	if rx.got[0].Len() != 50 {
+		t.Fatalf("received the abandoned packet (len %d)", rx.got[0].Len())
+	}
+}
+
+func TestPerFreqStats(t *testing.T) {
+	k, c := setup(0, 0)
+	c.AddJammer(20, 20, 1)
+	rx := &fakeRx{name: "r"}
+	c.Tune(rx, 10)
+	k.Schedule(0, func() { c.Transmit("a", 10, vec(50), nil) })
+	k.Schedule(10, func() { c.Transmit("b", 10, vec(50), nil) }) // collides with a
+	k.Schedule(500, func() { c.Transmit("a", 20, vec(50), nil) })
+	k.Schedule(1000, func() { c.Transmit("a", 30, vec(50), nil) })
+	k.Run()
+	st := c.Stats()
+	if f := st.PerFreq[10]; f.Transmissions != 2 || f.Collisions != 2 || f.Deliveries != 0 {
+		t.Fatalf("freq 10 stats wrong: %+v", f)
+	}
+	if f := st.PerFreq[20]; f.Transmissions != 1 || f.Jammed != 1 {
+		t.Fatalf("freq 20 stats wrong: %+v", f)
+	}
+	if f := st.PerFreq[30]; f.Transmissions != 1 || f.Jammed != 0 {
+		t.Fatalf("freq 30 stats wrong: %+v", f)
+	}
+	if st.Transmissions != 4 || st.Collisions != 2 || st.Jammed != 1 {
+		t.Fatalf("aggregate stats wrong: %+v", st)
+	}
+}
+
+func TestCollisionHookAttributesPairs(t *testing.T) {
+	k, c := setup(0, 0)
+	var pairs [][2]string
+	c.SetCollisionHook(func(existing, incoming *Transmission) {
+		pairs = append(pairs, [2]string{existing.From, incoming.From})
+	})
+	k.Schedule(0, func() { c.Transmit("a", 10, vec(200), nil) })
+	k.Schedule(50, func() { c.Transmit("b", 10, vec(200), nil) })
+	k.Schedule(100, func() { c.Transmit("c", 10, vec(200), nil) })
+	k.Run()
+	// b overlaps a; c overlaps both a and b.
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}}
+	if len(pairs) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %v", len(pairs), len(want), pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, pairs[i], want[i])
+		}
 	}
 }
 

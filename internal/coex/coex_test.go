@@ -1,0 +1,243 @@
+package coex
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hop"
+)
+
+// build stands up a net on a fresh world and starts traffic.
+func build(seed uint64, cfg Config) *Net {
+	n := New(core.Options{Seed: seed}, cfg)
+	n.StartTraffic()
+	return n
+}
+
+func TestFourPiconetsCollideAcrossPiconets(t *testing.T) {
+	n := build(7, Config{Piconets: 4})
+	n.Sim.RunSlots(64)
+	n.ResetStats()
+	n.Sim.RunSlots(4000)
+	tot := n.Totals()
+	if len(n.Piconets) != 4 {
+		t.Fatalf("built %d piconets", len(n.Piconets))
+	}
+	for i, p := range n.Piconets {
+		if len(p.Links) != 1 {
+			t.Fatalf("piconet %d has %d links", i, len(p.Links))
+		}
+		if tot.PerPiconet[i] == 0 {
+			t.Fatalf("piconet %d delivered nothing", i)
+		}
+	}
+	if tot.Inter == 0 {
+		t.Fatal("four uncoordinated piconets must collide across piconets")
+	}
+	// TDD inside a piconet leaves essentially no room for intra-piconet
+	// overlap; inter-piconet pairs must dominate.
+	if tot.Intra > tot.Inter {
+		t.Fatalf("intra collisions (%d) exceed inter (%d)", tot.Intra, tot.Inter)
+	}
+}
+
+func TestGoodputDegradesWithPiconetCount(t *testing.T) {
+	perLink := func(piconets int) float64 {
+		n := build(11, Config{Piconets: piconets})
+		n.Sim.RunSlots(64)
+		n.ResetStats()
+		n.Sim.RunSlots(4000)
+		return GoodputKbps(n.Totals().Bytes, 4000) / float64(piconets)
+	}
+	one, four := perLink(1), perLink(4)
+	if one <= 0 {
+		t.Fatal("no baseline goodput")
+	}
+	if four >= one {
+		t.Fatalf("no degradation: %v vs %v kbps", four, one)
+	}
+	if four < one*0.7 {
+		t.Fatalf("FHSS should keep degradation mild: %v vs %v kbps", four, one)
+	}
+}
+
+func TestAdaptiveClassifierLearnsJammedBand(t *testing.T) {
+	const lo, hi = 30, 52
+	n := New(core.Options{Seed: 3}, Config{
+		Piconets:          1,
+		AFH:               AFHAdaptive,
+		AssessWindowSlots: 1500,
+	})
+	n.Sim.Ch.AddJammer(lo, hi, 0.9)
+	n.StartTraffic()
+	// Two windows plus the LMP switch instant.
+	n.Sim.RunSlots(ConvergenceSlots(1500))
+	p := n.Piconets[0]
+	cm := p.CurrentMap()
+	if cm == nil {
+		t.Fatal("classifier never installed a map")
+	}
+	if p.MapUpdates == 0 {
+		t.Fatal("MapUpdates not counted")
+	}
+	excluded := 0
+	for ch := lo; ch <= hi; ch++ {
+		if !cm.Used(ch) {
+			excluded++
+		}
+	}
+	if excluded < (hi-lo+1)*8/10 {
+		t.Fatalf("learned map excludes only %d/%d jammed channels", excluded, hi-lo+1)
+	}
+	// Clean channels must stay in the map.
+	keptClean := 0
+	for ch := 0; ch < hop.NumChannels; ch++ {
+		if (ch < lo || ch > hi) && cm.Used(ch) {
+			keptClean++
+		}
+	}
+	if keptClean < (hop.NumChannels-(hi-lo+1))*9/10 {
+		t.Fatalf("learned map dropped clean channels: only %d kept", keptClean)
+	}
+	// Both ends must actually hop on the learned map (LMP installed it).
+	if p.Master.AFHMap() == nil || p.Slaves[0].AFHMap() == nil {
+		t.Fatal("map not installed on both ends over LMP")
+	}
+}
+
+func TestAdaptiveRecoversGoodputUnderJammer(t *testing.T) {
+	measure := func(mode AFHMode) float64 {
+		n := New(core.Options{Seed: 5}, Config{
+			Piconets:          1,
+			AFH:               mode,
+			OracleLo:          30,
+			OracleHi:          52,
+			AssessWindowSlots: 1500,
+		})
+		n.Sim.Ch.AddJammer(30, 52, 0.9)
+		n.StartTraffic()
+		n.Sim.RunSlots(ConvergenceSlots(1500)) // same warm-up for every arm
+		n.ResetStats()
+		n.Sim.RunSlots(6000)
+		return GoodputKbps(n.Totals().Bytes, 6000)
+	}
+	plain, oracle, learned := measure(AFHOff), measure(AFHOracle), measure(AFHAdaptive)
+	if plain <= 0 || oracle <= 0 {
+		t.Fatalf("no goodput: plain %v oracle %v", plain, oracle)
+	}
+	if oracle <= plain*1.1 {
+		t.Fatalf("oracle AFH did not help: %v vs plain %v", oracle, plain)
+	}
+	// The acceptance bar: the learned map recovers >= 80% of the oracle
+	// map's goodput under the 22-channel jammer.
+	if learned < oracle*0.8 {
+		t.Fatalf("learned map recovers only %.1f%% of oracle goodput (%v vs %v kbps)",
+			learned/oracle*100, learned, oracle)
+	}
+}
+
+func TestMinimumChannelSetRespected(t *testing.T) {
+	// Jam almost the whole band: the classifier must keep at least the
+	// spec minimum of 20 channels rather than panic in NewChannelMap.
+	n := New(core.Options{Seed: 9}, Config{
+		Piconets:          1,
+		AFH:               AFHAdaptive,
+		AssessWindowSlots: 1500,
+	})
+	n.Sim.Ch.AddJammer(0, 74, 0.95)
+	n.StartTraffic()
+	n.Sim.RunSlots(4 * 1500)
+	cm := n.Piconets[0].CurrentMap()
+	if cm == nil {
+		t.Skip("classifier saw too few observations to act") // extremely hostile band
+	}
+	if cm.N() < hop.MinAFHChannels {
+		t.Fatalf("map has %d channels, below the spec minimum %d", cm.N(), hop.MinAFHChannels)
+	}
+}
+
+func TestReprobeReadmitsAfterJammerLeaves(t *testing.T) {
+	// A bad verdict must not outlive its evidence forever: once the
+	// jammer goes away, the re-probe mechanism re-admits the band and
+	// the next window confirms it clean.
+	const lo, hi = 30, 52
+	n := New(core.Options{Seed: 15}, Config{
+		Piconets:          1,
+		AFH:               AFHAdaptive,
+		AssessWindowSlots: 1000,
+		ReprobeWindows:    3,
+	})
+	n.Sim.Ch.AddJammer(lo, hi, 0.9)
+	n.StartTraffic()
+	n.Sim.RunSlots(ConvergenceSlots(1000))
+	if n.Piconets[0].CurrentMap() == nil {
+		t.Fatal("classifier never excluded the jammed band")
+	}
+	n.Sim.Ch.ClearJammers()
+	// Three silent windows to trigger the re-probe, one to confirm the
+	// channels clean, plus the LMP switch instant.
+	n.Sim.RunSlots(5*1000 + 600)
+	cm := n.Piconets[0].CurrentMap()
+	readmitted := 0
+	for ch := lo; ch <= hi; ch++ {
+		if cm == nil || cm.Used(ch) {
+			readmitted++
+		}
+	}
+	if readmitted < (hi-lo+1)*8/10 {
+		t.Fatalf("only %d/%d formerly-jammed channels re-admitted after the jammer left", readmitted, hi-lo+1)
+	}
+}
+
+func TestMultiSlaveFairness(t *testing.T) {
+	// Saturating pumps on every link must not let AM_ADDR 1 monopolise
+	// the master's transmit slots: the round-robin scheduler has to give
+	// every slave a comparable share.
+	n := build(27, Config{Piconets: 1, Slaves: 3})
+	n.Sim.RunSlots(64)
+	n.ResetStats()
+	n.Sim.RunSlots(6000)
+	p := n.Piconets[0]
+	total := 0
+	for _, r := range p.Received {
+		total += r
+	}
+	if total == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	for j, r := range p.Received {
+		share := float64(r) / float64(total)
+		if share < 0.2 {
+			t.Fatalf("slave %d starved: got %d/%d bytes (share %.2f)", j+1, r, total, share)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, int, int) {
+		n := build(21, Config{Piconets: 3})
+		n.Sim.RunSlots(64)
+		n.ResetStats()
+		n.Sim.RunSlots(3000)
+		tot := n.Totals()
+		return tot.Bytes, tot.Inter, tot.Intra
+	}
+	b1, i1, x1 := run()
+	b2, i2, x2 := run()
+	if b1 != b2 || i1 != i2 || x1 != x2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", b1, i1, x1, b2, i2, x2)
+	}
+}
+
+func TestResetStatsOpensFreshWindow(t *testing.T) {
+	n := build(13, Config{Piconets: 2})
+	n.Sim.RunSlots(2000)
+	if n.Totals().Bytes == 0 {
+		t.Fatal("no traffic before reset")
+	}
+	n.ResetStats()
+	tot := n.Totals()
+	if tot.Bytes != 0 || tot.Inter != 0 || tot.Intra != 0 || tot.Retransmits != 0 {
+		t.Fatalf("reset left residue: %+v", tot)
+	}
+}

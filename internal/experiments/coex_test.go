@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func TestCoexSweepDegradation(t *testing.T) {
+	rows := CoexSweep([]int{1, 4}, 4000, 3, 17)
+	single, quad := rows[0], rows[1]
+	if single.PerLinkKbs <= 0 {
+		t.Fatal("no single-piconet goodput")
+	}
+	if single.Inter != 0 {
+		t.Fatalf("a lone piconet cannot collide across piconets: %v", single.Inter)
+	}
+	if quad.Inter == 0 {
+		t.Fatal("four co-located piconets must collide across piconets")
+	}
+	if quad.PerLinkKbs >= single.PerLinkKbs {
+		t.Fatalf("no degradation: %v vs %v", quad.PerLinkKbs, single.PerLinkKbs)
+	}
+	if quad.Retransmits <= single.Retransmits {
+		t.Fatalf("inter-piconet collisions must cost retransmissions: %v vs %v",
+			quad.Retransmits, single.Retransmits)
+	}
+	if !strings.Contains(CoexTable(rows).String(), "inter_collisions") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestAdaptiveAFHRecoversOracleGoodput(t *testing.T) {
+	rows := AdaptiveAFH([]int{23}, 0.9, 1500, 6000, 19)
+	r := rows[0]
+	if r.PlainKbs <= 0 || r.OracleKbs <= 0 {
+		t.Fatalf("no goodput: %+v", r)
+	}
+	if r.OracleKbs <= r.PlainKbs*1.1 {
+		t.Fatalf("oracle AFH did not help under the jammer: %+v", r)
+	}
+	// Acceptance bar: the learned map recovers >= 80% of the oracle
+	// ExcludeRange throughput under the 22 MHz (23-channel) jammer.
+	if r.LearnedKbs < r.OracleKbs*0.8 {
+		t.Fatalf("learned map recovers only %.1f%% of oracle goodput: %+v",
+			r.LearnedKbs/r.OracleKbs*100, r)
+	}
+	if r.LearnedN >= 79 {
+		t.Fatalf("learned map never narrowed: %+v", r)
+	}
+	if !strings.Contains(AdaptiveAFHTable(0.9, rows).String(), "learned_vs_oracle") {
+		t.Fatal("table broken")
+	}
+}
+
+// TestCoexSweepsDeterministicAcrossWorkers pins the runner contract for
+// the coexistence sweeps: serial and N-worker schedules must render
+// byte-identical tables.
+func TestCoexSweepsDeterministicAcrossWorkers(t *testing.T) {
+	defer runner.SetDefaultWorkers(0)
+
+	render := func() string {
+		cs := CoexSweep([]int{1, 2, 3}, 2000, 2, 29)
+		af := AdaptiveAFH([]int{11, 23}, 0.9, 1000, 2000, 31)
+		return CoexTable(cs).String() + AdaptiveAFHTable(0.9, af).CSV()
+	}
+
+	runner.SetDefaultWorkers(runner.Serial)
+	want := render()
+	for _, workers := range []int{1, 4} {
+		runner.SetDefaultWorkers(workers)
+		if got := render(); got != want {
+			t.Fatalf("coex tables diverged at %d workers:\n--- serial ---\n%s\n--- %d workers ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}

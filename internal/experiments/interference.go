@@ -4,19 +4,22 @@ import (
 	"fmt"
 
 	"repro/internal/baseband"
+	"repro/internal/coex"
 	"repro/internal/core"
-	"repro/internal/hop"
 	"repro/internal/packet"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
 // CoexistenceRow compares goodput under a static 802.11-style interferer
-// with and without adaptive frequency hopping.
+// across hop-set strategies: classic hopping, the oracle map that
+// excludes the jammed band by construction, and the map the adaptive
+// classifier learns from per-frequency reception errors.
 type CoexistenceRow struct {
 	JammerDuty float64
 	PlainKbs   float64 // classic 79-channel hopping
-	AFHKbs     float64 // hop set excluding the jammed band
+	AFHKbs     float64 // oracle hop set excluding the jammed band
+	LearnedKbs float64 // hop set learned by adaptive channel classification
 }
 
 // jammerLo..jammerHi is the band the simulated 802.11 network occupies
@@ -26,54 +29,33 @@ const (
 	jammerHi = 52
 )
 
+// coexAssessWindowSlots is the classification window the learned-map arm
+// of the coexistence sweep uses.
+const coexAssessWindowSlots = 1500
+
 // Coexistence measures master→slave goodput with a static interferer
-// over channels 30-52, comparing classic hopping against an AFH map that
-// excludes the jammed band — the interference problem of the paper's
-// references [3-5] and the v1.2 fix.
+// over channels 30-52, comparing classic hopping, an oracle AFH map
+// that excludes the jammed band by construction, and the map learned by
+// adaptive channel classification — the interference problem of the
+// paper's references [3-5] and the v1.2 fix. All three arms run the
+// identical protocol (same builder, same warm-up, same clean
+// measurement window) so the columns of one row are comparable.
 func Coexistence(duties []float64, measureSlots uint64, seed uint64) []CoexistenceRow {
-	measure := func(seed uint64, duty float64, afh bool) float64 {
-		s, m, sl := twoDevicesCfg(seed, 0, func(c *baseband.Config) {
-			c.TpollSlots = 1 << 20
-			// Paging hops the full band even under the jammer; a broken
-			// handshake must retry promptly, so scan continuously here.
-			c.PageScanWindowSlots = c.PageScanIntervalSlots
-			if c.PageScanWindowSlots == 0 {
-				c.PageScanWindowSlots = 2048
-				c.PageScanIntervalSlots = 2048
-			}
-		})
-		s.Ch.AddJammer(jammerLo, jammerHi, duty)
-		lks := s.BuildPiconet(m, sl)
-		l := lks[0]
-		l.PacketType = packet.TypeDM1
-		if afh {
-			cm := hop.ExcludeRange(jammerLo, jammerHi)
-			m.SetAFH(cm)
-			sl.SetAFH(cm)
-		}
-		received := 0
-		sl.OnData = func(_ *baseband.Link, p []byte, llid uint8) { received += len(p) }
-		chunk := make([]byte, packet.TypeDM1.MaxPayload())
-		var pump func()
-		pump = func() {
-			for l.QueueLen() < 4 {
-				l.Send(chunk, packet.LLIDL2CAPStart)
-			}
-			m.After(2, pump)
-		}
-		pump()
-		s.RunSlots(measureSlots)
-		return float64(received) * 8 / 1000 / (float64(measureSlots) * 625e-6)
-	}
+	const width = jammerHi - jammerLo + 1
 	sw := runner.Sweep[float64, CoexistenceRow]{
 		Name:   "coexistence",
 		Points: duties,
 		Seed:   func(point, _ int) uint64 { return seed + uint64(duties[point]*1000) },
 		Trial: func(seed uint64, duty float64) CoexistenceRow {
+			arm := func(mode coex.AFHMode) float64 {
+				kbs, _ := adaptiveArm(seed, mode, width, duty, coexAssessWindowSlots, measureSlots)
+				return kbs
+			}
 			return CoexistenceRow{
 				JammerDuty: duty,
-				PlainKbs:   measure(seed, duty, false),
-				AFHKbs:     measure(seed, duty, true),
+				PlainKbs:   arm(coex.AFHOff),
+				AFHKbs:     arm(coex.AFHOracle),
+				LearnedKbs: arm(coex.AFHAdaptive),
 			}
 		},
 	}
@@ -83,13 +65,13 @@ func Coexistence(duties []float64, measureSlots uint64, seed uint64) []Coexisten
 // CoexistenceTable renders the AFH comparison.
 func CoexistenceTable(rows []CoexistenceRow) *stats.Table {
 	t := stats.NewTable("Coexistence: goodput under an 802.11 interferer on channels 30-52",
-		"jammer_duty", "plain_kbps", "afh_kbps", "afh_gain")
+		"jammer_duty", "plain_kbps", "afh_kbps", "learned_kbps", "afh_gain")
 	for _, r := range rows {
 		gain := 0.0
 		if r.PlainKbs > 0 {
 			gain = r.AFHKbs / r.PlainKbs
 		}
-		t.AddRow(fmt.Sprintf("%.0f%%", r.JammerDuty*100), r.PlainKbs, r.AFHKbs, gain)
+		t.AddRow(fmt.Sprintf("%.0f%%", r.JammerDuty*100), r.PlainKbs, r.AFHKbs, r.LearnedKbs, gain)
 	}
 	return t
 }
@@ -152,7 +134,7 @@ func MultiPiconet(counts []int, measureSlots uint64, seed uint64) []Interference
 			}
 			return InterferenceRow{
 				Piconets:   n,
-				PerLinkKbs: float64(total) / float64(n) * 8 / 1000 / (float64(measureSlots) * 625e-6),
+				PerLinkKbs: coex.GoodputKbps(total, measureSlots) / float64(n),
 				Collisions: s.Ch.Stats().Collisions,
 			}
 		},

@@ -1,0 +1,40 @@
+package hop_test
+
+import (
+	"fmt"
+
+	"repro/internal/hop"
+)
+
+// A ChannelMap is the v1.2 AFH hop set: hops that land on an excluded
+// channel are remapped pseudo-uniformly onto the used set.
+func ExampleNewChannelMap() {
+	used := make([]int, 0, 40)
+	for ch := 0; ch < 40; ch++ {
+		used = append(used, ch)
+	}
+	m := hop.NewChannelMap(used)
+	fmt.Println("channels in use:", m.N())
+	fmt.Println("channel 5 used:", m.Used(5))
+	fmt.Println("channel 60 used:", m.Used(60))
+	fmt.Println("channel 60 remaps to:", m.Remap(60))
+	// Output:
+	// channels in use: 40
+	// channel 5 used: true
+	// channel 60 used: false
+	// channel 60 remaps to: 20
+}
+
+// ExcludeRange builds the oracle map of the coexistence experiments: the
+// full band minus a jammed range (here the classic 22 MHz 802.11
+// footprint on channels 30-52).
+func ExampleExcludeRange() {
+	m := hop.ExcludeRange(30, 52)
+	fmt.Println("channels in use:", m.N())
+	fmt.Println("channel 40 used:", m.Used(40))
+	fmt.Println("channel 40 remaps to:", m.Remap(40))
+	// Output:
+	// channels in use: 56
+	// channel 40 used: false
+	// channel 40 remaps to: 63
+}

@@ -1,0 +1,34 @@
+package runner_test
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// A Sweep declares the axes of an embarrassingly parallel experiment;
+// Run fans the (point, replica) trials out across a worker pool and
+// stores results by index, so any worker count yields identical output.
+func ExampleSweep_Run() {
+	sw := runner.Sweep[int, int]{
+		Name:     "squares",
+		Points:   []int{1, 2, 3},
+		Replicas: 2,
+		Trial:    func(seed uint64, p int) int { return p * p },
+	}
+	results := sw.Run(runner.Config{Workers: runner.Serial})
+	fmt.Println(results)
+
+	// ReducePoints folds the replicas of each point, in replica order.
+	sums := runner.ReducePoints(sw.Points, results, func(p int, rs []int) int {
+		total := 0
+		for _, r := range rs {
+			total += r
+		}
+		return total
+	})
+	fmt.Println(sums)
+	// Output:
+	// [[1 1] [4 4] [9 9]]
+	// [2 8 18]
+}

@@ -1,6 +1,14 @@
 // Package stats collects the summary statistics the experiment harness
 // reports: means with confidence intervals over repeated simulations,
 // success/failure counters, and formatted series for the figure tables.
+//
+// Every accumulator is mergeable (Sample.Merge, Counter.Merge,
+// CounterMap.Merge), which is what lets the parallel runner fan replicas
+// out across workers and still reproduce the serial accumulation bit for
+// bit: per-replica accumulators merged in replica order are
+// indistinguishable from one accumulator fed serially. Table renders
+// aligned text or CSV with a stable float format, so byte-comparison of
+// tables is a valid determinism check.
 package stats
 
 import (

@@ -1,6 +1,14 @@
 // Package vcd writes Value Change Dump files, the waveform format the
 // paper's Figs 5 and 9 were plotted from (SystemC's sc_trace equivalent).
 // It implements sim.Tracer so any traced signal lands in the dump.
+//
+// Signals declare themselves through the sim.Tracer interface when they
+// are constructed; the header is emitted lazily at the first timestamp
+// flush (so declarations and time-zero initial values interleave
+// freely), timestamps are kernel ticks (0.5 µs), and same-tick changes
+// collapse into one timestamped group — the output loads directly into
+// GTKWave or any other VCD viewer for comparison against the paper's
+// screenshots.
 package vcd
 
 import (

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check_pkg_docs.sh — the CI docs gate: every internal/ package must
+# carry a proper godoc package comment ("// Package <name> ..." directly
+# above its package clause in at least one file). Exits nonzero and
+# lists the offenders otherwise.
+set -u
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    found=0
+    for f in "$dir"*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        if grep -q "^// Package $pkg " "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "missing package comment: $dir"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "add a '// Package <name> ...' comment (see ARCHITECTURE.md for the package map)"
+fi
+exit "$fail"
