@@ -227,3 +227,16 @@ func BenchmarkRunnerSerialBaseline(b *testing.B) {
 	replicas := float64(len(bers) * seeds * b.N)
 	b.ReportMetric(replicas/b.Elapsed().Seconds(), "replicas/s")
 }
+
+// BenchmarkScatternetForwarding exercises the whole scatternet
+// pipeline — chain build, bridge paging, presence negotiation, the
+// membership scheduler and the L2CAP store-and-forward relay —
+// reporting end-to-end goodput through one bridge at 80% presence duty.
+func BenchmarkScatternetForwarding(b *testing.B) {
+	var kbps float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ScatternetSweep([]float64{0.8}, 6000, 1, uint64(i)+1)
+		kbps = rows[0].GoodputKbps
+	}
+	b.ReportMetric(kbps, "kbps@duty0.8")
+}

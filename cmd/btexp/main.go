@@ -36,7 +36,7 @@ func stderrIsTerminal() bool {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive")
+	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive, scatternet")
 	seeds := flag.Int("seeds", 40, "simulation repetitions per sweep point (Figs 6-8)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "output file for waveform figures (5, 9); default fig<N>.vcd")
@@ -172,6 +172,9 @@ func main() {
 		case "afh-adaptive":
 			rows := experiments.AdaptiveAFH([]int{7, 15, 23, 31, 39}, 0.9, 2000, 20000, *seed)
 			emit(experiments.AdaptiveAFHTable(0.9, rows))
+		case "scatternet":
+			rows := experiments.ScatternetSweep([]float64{0.2, 0.4, 0.6, 0.8, 1.0}, 20000, 4, *seed)
+			emit(experiments.ScatternetTable(rows))
 		case "throughput":
 			rows := experiments.PacketTypeThroughput(
 				[]packet.Type{packet.TypeDM1, packet.TypeDH1, packet.TypeDM3,

@@ -8,24 +8,18 @@
 // internal/runner worker pool, and btsim reports the merged outcome and
 // RF-activity statistics.
 //
-// The coexistence scenarios (coex, coex2, coex4) stand several
-// independent piconets up on one shared medium and report per-piconet
-// goodput plus inter-piconet collision statistics; afh-adaptive runs one
-// piconet under an 802.11-style jammer with adaptive channel
-// classification learning the hop set on the air.
+// The scenario list is registered in scenarios.go (scenarioRegistry) and
+// rendered into the usage text at run time, so `btsim -h` always
+// enumerates every scenario the binary actually accepts — run it for
+// the authoritative list and one-line summaries.
 //
 // Usage:
 //
 //	btsim -scenario creation -slaves 3 -vcd creation.vcd
-//	btsim -scenario discovery -ber 0.01
 //	btsim -scenario creation -ber 0.01 -trials 200 -workers 8
-//	btsim -scenario sniff -tsniff 100
-//	btsim -scenario hold -thold 400
-//	btsim -scenario park
-//	btsim -scenario transfer -ber 0.003
-//	btsim -scenario coex4 -slots 4000
 //	btsim -scenario coex -piconets 6 -trials 50 -workers 8
 //	btsim -scenario afh-adaptive -jam-duty 0.9 -assess-window 2000
+//	btsim -scenario scatternet -bridges 2 -presence 0.8
 package main
 
 import (
@@ -38,8 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "creation",
-		"creation | discovery | sniff | hold | park | transfer | coex | coex2 | coex4 | afh-adaptive")
+	scenario := flag.String("scenario", "creation", scenarioList())
 	slaves := flag.Int("slaves", 3, "number of slaves in the piconet")
 	ber := flag.Float64("ber", 0, "channel bit error rate")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -51,8 +44,15 @@ func main() {
 	assessWindow := flag.Int("assess-window", 2000, "channel-assessment window in slots (afh-adaptive scenario)")
 	jamDuty := flag.Float64("jam-duty", 0.9, "jammer duty cycle (afh-adaptive scenario)")
 	jamWidth := flag.Int("jam-width", 23, "jammed channels starting at channel 30 (afh-adaptive scenario)")
+	bridges := flag.Int("bridges", 1, "scatternet bridges; the chain has bridges+1 piconets (scatternet scenario)")
+	presence := flag.Float64("presence", 0.8, "bridge presence duty cycle in (0,1] (scatternet scenario)")
 	trials := flag.Int("trials", 1, "replicate the scenario this many times through the parallel runner")
 	workers := flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS, -1 = serial)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenarioUsage())
+	}
 	flag.Parse()
 
 	p := trialParams{
@@ -60,6 +60,7 @@ func main() {
 		slots: *slots, tsniff: *tsniff, thold: *thold,
 		piconets: *piconets, assessWindow: *assessWindow,
 		jamDuty: *jamDuty, jamWidth: *jamWidth,
+		bridges: *bridges, presence: *presence,
 	}
 	if err := validateParams(p); err != nil {
 		fmt.Fprintf(os.Stderr, "btsim: %v\n", err)

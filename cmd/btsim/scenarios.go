@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/baseband"
 	"repro/internal/channel"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hop"
 	"repro/internal/packet"
+	"repro/internal/scatternet"
 	"repro/internal/stats"
 )
 
@@ -25,6 +27,8 @@ type trialParams struct {
 	assessWindow int     // afh-adaptive: classification window in slots
 	jamDuty      float64 // afh-adaptive: jammer duty cycle
 	jamWidth     int     // afh-adaptive: jammed channels starting at 30
+	bridges      int     // scatternet: bridge count (piconets = bridges+1)
+	presence     float64 // scatternet: bridge presence duty cycle
 }
 
 // trialOutcome is the mergeable result of one scenario run: named
@@ -48,15 +52,58 @@ func (a *trialOutcome) merge(b *trialOutcome) {
 	}
 }
 
-// validScenario reports whether name is a known -scenario value; the
-// runScenario switch below is the single list of scenarios.
+// scenarioInfo registers one -scenario value with the one-line summary
+// the usage text prints.
+type scenarioInfo struct {
+	name    string
+	summary string
+}
+
+// scenarioRegistry is the single source of truth for the scenario list:
+// the -scenario flag help, the full usage text and the validator all
+// derive from it (the README scenario table mirrors it). Keep an entry
+// here for every case runScenario handles.
+var scenarioRegistry = []scenarioInfo{
+	{"creation", "master + N slaves create a piconet (paper Fig 5)"},
+	{"discovery", "inquiry finds the neighbours under noise (paper Fig 6)"},
+	{"sniff", "slaves enter sniff mode, -tsniff anchors (paper Fig 9)"},
+	{"hold", "slaves cycle repeating hold, -thold slots (paper Fig 12)"},
+	{"park", "slaves parked on the 64-slot beacon channel"},
+	{"transfer", "bulk DM3 transfer to every slave, ARQ vs -ber"},
+	{"coex", "-piconets co-located piconets colliding on one medium"},
+	{"coex2", "two co-located piconets"},
+	{"coex4", "four co-located piconets"},
+	{"afh-adaptive", "one piconet learns its AFH map under a -jam-duty jammer"},
+	{"scatternet", "-bridges bridges chain -bridges+1 piconets, L2CAP forwarded end to end"},
+}
+
+// validScenario reports whether name is registered.
 func validScenario(name string) bool {
-	switch name {
-	case "creation", "discovery", "sniff", "hold", "park", "transfer",
-		"coex", "coex2", "coex4", "afh-adaptive":
-		return true
+	for _, s := range scenarioRegistry {
+		if s.name == name {
+			return true
+		}
 	}
 	return false
+}
+
+// scenarioList renders the registered names for the -scenario flag help.
+func scenarioList() string {
+	names := make([]string, len(scenarioRegistry))
+	for i, s := range scenarioRegistry {
+		names[i] = s.name
+	}
+	return strings.Join(names, " | ")
+}
+
+// scenarioUsage renders the per-scenario summaries for the usage text.
+func scenarioUsage() string {
+	var sb strings.Builder
+	sb.WriteString("Scenarios:\n")
+	for _, s := range scenarioRegistry {
+		fmt.Fprintf(&sb, "  %-13s %s\n", s.name, s.summary)
+	}
+	return sb.String()
 }
 
 // buildWorld assembles the master + N slave world every scenario
@@ -90,6 +137,8 @@ func runScenario(scenario string, seed uint64, p trialParams, trace io.Writer, l
 		return runCoexScenario(scenario, seed, p, trace, logf)
 	case "afh-adaptive":
 		return runAdaptiveScenario(seed, p, trace, logf)
+	case "scatternet":
+		return runScatternetScenario(seed, p, trace, logf)
 	}
 	var out trialOutcome
 	out.Out = stats.CounterMap{}
@@ -213,6 +262,12 @@ func validateParams(p trialParams) error {
 	if p.tsniff < 1 || p.thold < 1 {
 		return fmt.Errorf("-tsniff and -thold must be >= 1, got %d and %d", p.tsniff, p.thold)
 	}
+	if p.bridges < 1 || p.bridges > 6 {
+		return fmt.Errorf("-bridges must be in 1..6, got %d", p.bridges)
+	}
+	if p.presence <= 0 || p.presence > 1 {
+		return fmt.Errorf("-presence must be in (0,1], got %g", p.presence)
+	}
 	return nil
 }
 
@@ -315,6 +370,51 @@ func runAdaptiveScenario(seed uint64, p trialParams, trace io.Writer, logf func(
 	out.Out.Observe("map_installed", cm != nil)
 	out.Out.Observe("jam_band_excluded", cm != nil && excluded >= (hi-lo+1)*8/10)
 	addCoexActivity(net, &out)
+	return s, out
+}
+
+// runScatternetScenario chains -bridges+1 piconets through timesharing
+// bridges and pushes the canonical end-to-end flow (first master to a
+// slave of the last piconet) across them, reporting goodput, bridge
+// store-and-forward statistics and the presence schedule's retunes.
+func runScatternetScenario(seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
+	var out trialOutcome
+	out.Out = stats.CounterMap{}
+	piconets := p.bridges + 1
+	// A master hosts its slaves plus one bridge (chain ends) or two
+	// (middle masters) within the 7 active members a piconet supports.
+	maxSlaves := 6
+	if piconets > 2 {
+		maxSlaves = 5
+	}
+	slaves := min(coexSlaves(p), maxSlaves)
+	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
+	cfg := scatternet.Config{Piconets: piconets, Slaves: slaves, PresenceDuty: p.presence}
+	net := scatternet.Build(s, cfg)
+	out.Out.Observe("setup_ok", true)
+	logf("built a %d-piconet chain (1 master + %d slave(s) each) joined by %d bridge(s); presence duty %.0f%%, period %d slots\n",
+		piconets, slaves, len(net.Bridges), p.presence*100, 256)
+	net.StartTraffic()
+	flow := net.Flows[0]
+	logf("flow: %s -> %s, store-and-forward through every bridge\n", flow.From, flow.To)
+	s.RunSlots(uint64(3 * 256))
+	net.ResetStats()
+	s.RunSlots(p.slots)
+	tot := net.Totals()
+	logf("delivered %d bytes end-to-end over %d slots (%.1f kbps goodput)\n",
+		tot.DeliveredBytes, p.slots, scatternet.GoodputKbps(tot.DeliveredBytes, p.slots))
+	logf("bridges forwarded %d frame(s), dropped %d; store-and-forward latency %.0f slots mean\n",
+		tot.ForwardedFrames, tot.DroppedFrames, tot.FwdLatencyMeanSlots)
+	logf("bridge queue depth: %.1f mean (time-weighted), %d max; %d membership retunes\n",
+		tot.QueueMeanDepth, tot.QueueMaxDepth, tot.MembershipSwitches)
+	out.Out.Observe("delivered_across_piconets", tot.DeliveredBytes > 0)
+	out.Out.Observe("no_route_misses", tot.RouteMisses == 0)
+	out.Out.Observe("radio_timeshared", tot.MembershipSwitches > 0)
+	for _, b := range net.Bridges {
+		tx, rx := core.Activity(b.Dev)
+		out.Tx.Add(tx)
+		out.Rx.Add(rx)
+	}
 	return s, out
 }
 

@@ -10,7 +10,12 @@
 // internal/lmp and internal/hci. internal/coex is the multi-piconet
 // coexistence engine: several piconets on one shared medium, with
 // adaptive channel classification learning AFH maps from per-frequency
-// reception errors. internal/runner is the declarative trial engine:
+// reception errors. internal/scatternet chains piconets through bridge
+// devices that are slaves in two piconets at once — each bridge
+// timeshares its radio over per-piconet baseband memberships, pins
+// presence windows via the LMP slot-offset/sniff handshake, and relays
+// L2CAP frames store-and-forward between the piconets.
+// internal/runner is the declarative trial engine:
 // experiment sweeps declare their axes and a per-seed trial function,
 // and the engine fans the replicas out across a worker pool while
 // keeping every table byte-identical to a serial run. See README.md for

@@ -72,6 +72,7 @@ func (d *Device) masterSlot() {
 	}
 	d.transmit(p, d.cfg.Addr.UAP, clk, d.chanFreq(d.ownSel, clk))
 	l.lastAddressedAt = now
+	l.pollFollowUp = false // re-armed if the response carries data
 
 	// Listen for the slave's response in the slot after the packet.
 	slots := uint64(p.Header.Type.Slots())
@@ -119,6 +120,9 @@ func (d *Device) pickLink(now sim.Time) *Link {
 		case ModeSniff:
 			if !l.inSniffWindow(evenIdx) {
 				continue
+			}
+			if l.pollFollowUp && pollDue == nil {
+				pollDue = l
 			}
 		case ModePark:
 			continue // parked slaves only get beacons
@@ -175,6 +179,11 @@ func (d *Device) masterRx(tx *channel.Transmission, rx *bits.Vec, collided bool)
 	}
 	if l.mode == ModeHold && d.now() >= l.holdUntil {
 		d.masterHoldResynced(l)
+	}
+	if l.mode == ModeSniff && len(p.Payload) > 0 {
+		// The sniffed slave has traffic; keep polling it while the
+		// window is open instead of waiting out Tpoll.
+		l.pollFollowUp = true
 	}
 	deliver := l.processRx(p.Header, len(p.Payload) > 0)
 	if deliver {

@@ -96,6 +96,9 @@ type Counters struct {
 	Polls        int
 	Retransmits  int
 	DupsFiltered int
+	// MembershipSwitches counts scatternet membership activations — how
+	// often the radio retuned from one piconet's slot grid to another's.
+	MembershipSwitches int
 }
 
 // FreqObs tallies reception outcomes on one RF channel.

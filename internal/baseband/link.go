@@ -45,6 +45,12 @@ type Link struct {
 	lastAddressedAt sim.Time // master: last TX to this slave
 	lastHeardAt     sim.Time
 	newconnPending  bool
+	// pollFollowUp marks a sniffed slave whose last response carried
+	// data: the master keeps polling it inside the sniff window until a
+	// NULL signals the slave's queue is empty. Scatternet bridges drain
+	// their store-and-forward backlog through exactly this path; an
+	// idle sniff window (Fig 11) never sets it.
+	pollFollowUp bool
 
 	// Power mode.
 	mode         Mode

@@ -1,0 +1,192 @@
+package baseband
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// joinPiconet pages sl into m's piconet with an exact clock estimate and
+// returns the two ends of the new link.
+func joinPiconet(t *testing.T, r *rig, m, sl *Device) (masterLink, slaveLink *Link) {
+	t.Helper()
+	m.OnConnected = func(l *Link) { masterLink = l }
+	sl.OnConnected = func(l *Link) { slaveLink = l }
+	sl.StartPageScan()
+	est := m.EstimateOf(InquiryResult{CLKN: sl.Clock.CLKN(r.k.Now()), At: r.k.Now()}, 0)
+	m.StartPage(sl.Addr(), est, 2048, nil)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(600)))
+	if masterLink == nil || slaveLink == nil {
+		t.Fatalf("%s did not join %s's piconet", sl.Name(), m.Name())
+	}
+	m.OnConnected, sl.OnConnected = nil, nil
+	return masterLink, slaveLink
+}
+
+// bridgeRig stands up two piconets sharing one medium with a common
+// bridge device: slave of masterA (membership memA, suspended state
+// depends on the test) and slave of masterB.
+func bridgeRig(t *testing.T) (r *rig, masterA, masterB, bridge *Device, linkA, linkB *Link, memA, memB *Membership) {
+	t.Helper()
+	r = newRig(0)
+	masterA = r.device("masterA", 0x1A1A1A, 0)
+	masterB = r.device("masterB", 0x2B2B2B, 4242)
+	// The bridge scans continuously so its second page-in is not gated
+	// on the R1 scan-interval discipline.
+	bridge = New(r.k, r.ch, "bridge", Config{
+		Addr:                  BDAddr{LAP: 0x3C3C3C, UAP: 0x3C, NAP: 0x1234},
+		ClockPhase:            999,
+		Seed:                  31337,
+		PageScanWindowSlots:   2048,
+		PageScanIntervalSlots: 2048,
+	})
+	linkA, _ = joinPiconet(t, r, masterA, bridge)
+	memA = bridge.SuspendMembership()
+	linkB, _ = joinPiconet(t, r, masterB, bridge)
+	memB = bridge.CaptureMembership()
+	return
+}
+
+func TestMembershipSwitchDeliversInBothPiconets(t *testing.T) {
+	r, masterA, _, bridge, linkA, linkB, memA, memB := bridgeRig(t)
+
+	var got []string
+	bridge.OnData = func(l *Link, payload []byte, _ uint8) { got = append(got, string(payload)) }
+
+	// Active in B: traffic from A must NOT arrive (the radio is on B's
+	// hop sequence), traffic from B must.
+	linkA.Send([]byte("from-A"), packet.LLIDL2CAPStart)
+	linkB.Send([]byte("from-B"), packet.LLIDL2CAPStart)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(200)))
+	if len(got) != 1 || got[0] != "from-B" {
+		t.Fatalf("active-in-B deliveries = %q, want [from-B]", got)
+	}
+
+	// Switch to A: the pending frame drains via the master's ARQ
+	// retransmission as soon as the bridge listens on A's grid again.
+	bridge.ActivateMembership(memA)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(200)))
+	if len(got) != 2 || got[1] != "from-A" {
+		t.Fatalf("after switch to A deliveries = %q, want [from-B from-A]", got)
+	}
+	if bridge.Counters.MembershipSwitches != 1 {
+		t.Fatalf("MembershipSwitches = %d, want 1", bridge.Counters.MembershipSwitches)
+	}
+	// Both master-side links must have survived the whole dance.
+	if masterA.Links()[linkA.AMAddr] != linkA {
+		t.Fatal("master A dropped the bridge link")
+	}
+	// Re-activating the already-active membership is a no-op.
+	bridge.ActivateMembership(memA)
+	if bridge.Counters.MembershipSwitches != 1 {
+		t.Fatal("no-op re-activation must not count as a switch")
+	}
+	_ = memB
+}
+
+// TestActivateMembershipMidReceptionAbandons pins the presence-window
+// boundary edge case: a bridge that switches piconets while a packet is
+// mid-air must abandon the reception cleanly — no delivery, no ARQ
+// pollution on the new membership's link — and come up listening on the
+// new hop sequence.
+func TestActivateMembershipMidReceptionAbandons(t *testing.T) {
+	r, _, _, bridge, linkA, linkB, memA, memB := bridgeRig(t)
+	bridge.ActivateMembership(memA)
+
+	var got []string
+	bridge.OnData = func(l *Link, payload []byte, _ uint8) { got = append(got, string(payload)) }
+	// Saturate A→bridge so a packet is regularly mid-air at the bridge.
+	linkA.Send(make([]byte, 17), packet.LLIDL2CAPStart)
+	linkA.Send(make([]byte, 17), packet.LLIDL2CAPStart)
+
+	// Step in small increments until the switch boundary lands mid-packet.
+	caught := false
+	for i := 0; i < 20000 && !caught; i++ {
+		r.k.RunUntil(r.k.Now() + 50)
+		caught = bridge.rxBusy
+	}
+	if !caught {
+		t.Fatal("never caught the bridge mid-reception")
+	}
+	delivered := len(got)
+	arqnB := linkB.arqnOut
+	bridge.ActivateMembership(memB)
+
+	if bridge.rxBusy {
+		t.Fatal("switch must abandon the in-flight reception")
+	}
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(4)))
+	if len(got) != delivered {
+		t.Fatalf("abandoned packet was delivered anyway (%d -> %d)", delivered, len(got))
+	}
+	// The old piconet's packet must not have fed the new link's ARQ.
+	if linkB.arqnOut != arqnB {
+		t.Fatal("abandoned reception polluted the new membership's ARQ state")
+	}
+	// And the new membership must be live: fresh traffic from B arrives.
+	linkB.Send([]byte("post-switch"), packet.LLIDL2CAPStart)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(200)))
+	if len(got) == delivered || got[len(got)-1] != "post-switch" {
+		t.Fatalf("new membership not listening after mid-reception switch: %q", got)
+	}
+}
+
+// TestMembershipPreservesModeAndClock pins that suspension freezes link
+// state: sniff parameters negotiated before a suspension still govern
+// the listen schedule after re-activation, and the piconet clock offset
+// is restored exactly.
+func TestMembershipPreservesModeAndClock(t *testing.T) {
+	r, _, _, bridge, linkA, _, memA, memB := bridgeRig(t)
+
+	// Put membership A's link into sniff on both ends while suspended
+	// (the master initiates; the bridge side is applied directly, as the
+	// lmp package would on acceptance).
+	linkA.EnterSniff(64, 4, 0)
+	memA.Link.mode = ModeSniff
+	memA.Link.sniffT, memA.Link.sniffAttempt, memA.Link.sniffOffset = 64, 4, 0
+
+	offA := memA.clockOffset
+	bridge.ActivateMembership(memA)
+	if bridge.Clock.Offset() != offA {
+		t.Fatalf("clock offset = %d, want %d", bridge.Clock.Offset(), offA)
+	}
+	if bridge.MasterLink() != memA.Link || memA.Link.Mode() != ModeSniff {
+		t.Fatal("sniff state lost across suspension")
+	}
+	// The sniffing bridge must still be reachable inside its windows.
+	var heard bool
+	bridge.OnData = func(*Link, []byte, uint8) { heard = true }
+	linkA.Send([]byte("sniffed"), packet.LLIDL2CAPStart)
+	r.k.RunUntil(r.k.Now() + sim.Time(sim.Slots(300)))
+	if !heard {
+		t.Fatal("sniffing membership never heard its window traffic")
+	}
+	// Switching back restores B's offset just as exactly.
+	bridge.ActivateMembership(memB)
+	if bridge.Clock.Offset() != memB.clockOffset {
+		t.Fatal("membership B offset not restored")
+	}
+}
+
+func TestMembershipAPIGuards(t *testing.T) {
+	r := newRig(0)
+	m := r.device("m", 0x111111, 0)
+	sl := r.device("sl", 0x222222, 7)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	// Standby devices hold no membership to capture.
+	mustPanic("capture from standby", func() { sl.CaptureMembership() })
+	joinPiconet(t, r, m, sl)
+	// Masters own their piconet; they cannot capture or activate.
+	mustPanic("capture on master", func() { m.CaptureMembership() })
+	mem := sl.CaptureMembership()
+	mustPanic("activate on master", func() { m.ActivateMembership(mem) })
+}

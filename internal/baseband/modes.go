@@ -72,9 +72,14 @@ func (l *Link) EnterPark(beaconSlots int) {
 	l.dev.rescheduleSlaveLoop()
 }
 
-// Unpark returns a parked link to active mode.
+// Unpark returns a parked link to active mode. The parked silence was
+// negotiated, so supervision restarts from the unpark instant —
+// parked slaves never transmit, which makes the pre-park baseline
+// stale by construction (the same carve-out hold mode gets while
+// suspended).
 func (l *Link) Unpark() {
 	l.mode = ModeActive
+	l.lastHeardAt = l.dev.now()
 	l.dev.rescheduleSlaveLoop()
 }
 

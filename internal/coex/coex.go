@@ -67,6 +67,13 @@ type Config struct {
 	// BadThreshold is the error fraction at or above which an observed
 	// channel is classified bad (default 0.25).
 	BadThreshold float64
+
+	// TpollSlots is the masters' maximum polling interval. The default
+	// (1<<20, effectively never) suits the saturating pumps of the
+	// coexistence experiments, where the data itself is the poll; the
+	// scatternet layer overrides it so idle links stay supervised by
+	// regular POLLs.
+	TpollSlots int
 	// ReprobeWindows bounds how long a bad verdict can outlive its
 	// evidence: an excluded channel is never hopped on, so it collects
 	// no observations — after this many consecutive silent windows it is
@@ -103,6 +110,9 @@ func (c *Config) normalize() {
 	}
 	if c.ReprobeWindows == 0 {
 		c.ReprobeWindows = 8
+	}
+	if c.TpollSlots == 0 {
+		c.TpollSlots = 1 << 20
 	}
 	if c.AssessWindowSlots < 0 || c.MinObservations < 0 || c.ReprobeWindows < 0 ||
 		c.BadThreshold < 0 || c.BadThreshold > 1 {
@@ -205,8 +215,9 @@ func (n *Net) buildPiconet(i int) *Piconet {
 			UAP: uint8(0x10 + i),
 			NAP: uint16(0x0100 + i),
 		},
-		// The pumped data is the poll; keep explicit polls out of the way.
-		TpollSlots: 1 << 20,
+		// Default 1<<20: the pumped data is the poll; keep explicit
+		// polls out of the way.
+		TpollSlots: n.cfg.TpollSlots,
 	})
 	n.owner[mname] = i
 	for j := 0; j < n.cfg.Slaves; j++ {
@@ -217,7 +228,7 @@ func (n *Net) buildPiconet(i int) *Piconet {
 				UAP: uint8(0x80 + i*8 + j),
 				NAP: uint16(0x0200 + i),
 			},
-			TpollSlots: 1 << 20,
+			TpollSlots: n.cfg.TpollSlots,
 			// Foreign piconets can collide with the page handshake; scan
 			// continuously so retries land promptly.
 			PageScanWindowSlots:   2048,
@@ -239,6 +250,18 @@ func (n *Net) buildPiconet(i int) *Piconet {
 		}
 	}
 	return p
+}
+
+// AdoptDevice registers an externally created device (a scatternet
+// bridge, a monitoring node) as belonging to piconet index for the
+// collision attribution. A bridge belongs to two piconets at once; by
+// convention the scatternet layer books it under its first membership,
+// so its collision pairs split the same way its presence time does.
+func (n *Net) AdoptDevice(d *baseband.Device, piconet int) {
+	if piconet < 0 || piconet >= len(n.Piconets) {
+		panic(fmt.Sprintf("coex: piconet index %d out of range", piconet))
+	}
+	n.owner[d.Name()] = piconet
 }
 
 // onCollision attributes one collision pair to inter- or intra-piconet

@@ -66,6 +66,12 @@ type Channel struct {
 // State returns the channel's lifecycle state.
 func (c *Channel) State() ChannelState { return c.state }
 
+// Link returns the ACL link the channel rides on. Relays use it to gate
+// their drains on the baseband transmit queue, keeping backpressure —
+// and its statistics — at the L2CAP layer instead of piling frames
+// into the link.
+func (c *Channel) Link() *baseband.Link { return c.link }
+
 // Send transmits one SDU over the channel as a single B-frame.
 func (c *Channel) Send(sdu []byte) error {
 	if c.state != StateOpen {

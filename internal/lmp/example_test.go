@@ -1,0 +1,70 @@
+package lmp_test
+
+import (
+	"fmt"
+
+	"repro/internal/baseband"
+	"repro/internal/channel"
+	"repro/internal/lmp"
+	"repro/internal/sim"
+)
+
+// examplePair wires a connected master/slave pair with LMP managers on
+// both ends — the minimal world every LMP negotiation example needs.
+func examplePair() (*sim.Kernel, *lmp.Manager, *baseband.Link) {
+	k := sim.NewKernel()
+	ch := channel.New(k, sim.NewRand(42), channel.Config{})
+	master := baseband.New(k, ch, "master",
+		baseband.Config{Addr: baseband.BDAddr{LAP: 0x101010, UAP: 1}})
+	slave := baseband.New(k, ch, "slave",
+		baseband.Config{Addr: baseband.BDAddr{LAP: 0x202020, UAP: 2}, ClockPhase: 4242})
+	mm := lmp.Attach(master)
+	lmp.Attach(slave) // the responder side of every negotiation
+	var link *baseband.Link
+	master.OnConnected = func(l *baseband.Link) { link = l }
+	slave.StartPageScan()
+	est := master.EstimateOf(baseband.InquiryResult{CLKN: slave.Clock.CLKN(0), At: 0}, 0)
+	master.StartPage(slave.Addr(), est, 2048, nil)
+	k.RunUntil(sim.Time(sim.Slots(600)))
+	return k, mm, link
+}
+
+// RequestSniff negotiates sniff mode over the air: the request rides an
+// LLID-3 payload to the slave, the acceptance rides back, and both ends
+// enter the mode — after which the master only addresses the slave
+// inside the negotiated anchor windows (paper Fig 9).
+func ExampleManager_RequestSniff() {
+	k, mm, link := examplePair()
+
+	accepted := false
+	mm.RequestSniff(link, 100, 2, 0, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+
+	fmt.Println("accepted:", accepted)
+	fmt.Println("master link mode:", link.Mode())
+	// Output:
+	// accepted: true
+	// master link mode: SNIFF
+}
+
+// RequestHold negotiates a one-shot hold period: the slave's RF goes
+// completely dark for the agreed slots, then it resynchronises and the
+// link returns to active mode by itself (paper Fig 12 measures exactly
+// this cycle).
+func ExampleManager_RequestHold() {
+	k, mm, link := examplePair()
+
+	accepted := false
+	mm.RequestHold(link, 300, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(200)))
+	fmt.Println("accepted:", accepted)
+	fmt.Println("during hold:", link.Mode())
+
+	// The hold expires on its own; both ends resynchronise to active.
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(900)))
+	fmt.Println("after expiry:", link.Mode())
+	// Output:
+	// accepted: true
+	// during hold: HOLD
+	// after expiry: ACTIVE
+}

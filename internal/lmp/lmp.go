@@ -29,6 +29,7 @@ const (
 	OpUnsniffReq       Opcode = 24
 	OpParkReq          Opcode = 25
 	OpUnparkReq        Opcode = 33
+	OpSlotOffset       Opcode = 52
 	OpSetAFH           Opcode = 60
 	OpSCOLinkReq       Opcode = 43
 	OpRemoveSCOLinkReq Opcode = 44
@@ -63,6 +64,8 @@ func (o Opcode) String() string {
 		return "LMP_park_req"
 	case OpUnparkReq:
 		return "LMP_unpark_req"
+	case OpSlotOffset:
+		return "LMP_slot_offset"
 	case OpSetAFH:
 		return "LMP_set_AFH"
 	case OpSCOLinkReq:
@@ -142,9 +145,15 @@ type Manager struct {
 	// installed, so the host can attach Source and Sink.
 	OnSCOEstablished func(sco *baseband.SCOLink)
 
+	// OnSlotOffset fires when the peer announces its slot offset (the
+	// timing half of the spec's role-switch preamble; scatternet bridges
+	// send it before pinning their presence windows).
+	OnSlotOffset func(l *baseband.Link, offsetUS uint16, peer baseband.BDAddr)
+
 	pendingAccept map[*baseband.Link]func(accepted bool)
 	setupDone     map[*baseband.Link]bool
 	setupSent     map[*baseband.Link]bool
+	slotOffsets   map[*baseband.Link]uint16
 }
 
 // Device2 aliases baseband.Device to keep the Manager declaration tidy.
@@ -157,6 +166,7 @@ func Attach(dev *baseband.Device) *Manager {
 		pendingAccept: make(map[*baseband.Link]func(bool)),
 		setupDone:     make(map[*baseband.Link]bool),
 		setupSent:     make(map[*baseband.Link]bool),
+		slotOffsets:   make(map[*baseband.Link]uint16),
 	}
 	dev.OnLMP = m.receive
 	return m
@@ -235,6 +245,43 @@ func (m *Manager) RequestPark(l *baseband.Link, beaconSlots int, result func(boo
 		}
 	}
 	m.send(l, PDU{Op: OpParkReq, Params: putU16(uint16(beaconSlots))})
+}
+
+// SendSlotOffset announces this device's slot offset on l: the phase
+// difference, in microseconds, between the peer piconet's slot grid and
+// another slot grid this device is synchronised to. In the spec
+// LMP_slot_offset precedes a master/slave role switch; here it is the
+// timing half of the scatternet bridge handshake — the bridge tells
+// each master where its *other* piconet's slots sit before pinning its
+// presence windows, so the announced sniff anchors are interpretable.
+// The PDU carries the offset and the sender's BD_ADDR.
+func (m *Manager) SendSlotOffset(l *baseband.Link, offsetUS uint16) {
+	a := m.dev.Addr()
+	params := append(putU16(offsetUS),
+		byte(a.LAP), byte(a.LAP>>8), byte(a.LAP>>16), a.UAP, byte(a.NAP), byte(a.NAP>>8))
+	m.send(l, PDU{Op: OpSlotOffset, Params: params})
+}
+
+// PeerSlotOffset returns the last slot offset the peer announced on l
+// and whether one was ever received.
+func (m *Manager) PeerSlotOffset(l *baseband.Link) (uint16, bool) {
+	v, ok := m.slotOffsets[l]
+	return v, ok
+}
+
+// RequestPresence is the bridge timing handshake, run from the slave
+// side of l: LMP_slot_offset announces where the bridge's other slot
+// grid sits, then a sniff negotiation pins this link to the presence
+// window described by (tsniff, attempt, offset) — the window in which
+// the bridge's radio is parked on THIS piconet's hop sequence. The
+// master stops addressing the bridge outside the window (the sniff
+// scheduler's contract), which is exactly the absence guarantee a
+// device timesharing its radio between piconets needs. A full
+// master/slave role switch is not modelled; bridges in this model are
+// slaves in every piconet they join, which the spec permits.
+func (m *Manager) RequestPresence(l *baseband.Link, tsniff, attempt, offset int, slotOffsetUS uint16, result func(bool)) {
+	m.SendSlotOffset(l, slotOffsetUS)
+	m.RequestSniff(l, tsniff, attempt, offset, result)
 }
 
 // RequestSCO negotiates a voice channel over the ACL link (master
@@ -374,6 +421,21 @@ func (m *Manager) receive(l *baseband.Link, payload []byte) {
 			l.EnterPark(beacon)
 			m.notifyMode(l, baseband.ModePark)
 		})
+	case OpSlotOffset:
+		if len(pdu.Params) < 8 {
+			m.send(l, PDU{Op: OpNotAccepted, Params: []byte{uint8(OpSlotOffset)}})
+			return
+		}
+		off := getU16(pdu.Params[0:2])
+		peer := baseband.BDAddr{
+			LAP: uint32(pdu.Params[2]) | uint32(pdu.Params[3])<<8 | uint32(pdu.Params[4])<<16,
+			UAP: pdu.Params[5],
+			NAP: uint16(pdu.Params[6]) | uint16(pdu.Params[7])<<8,
+		}
+		m.slotOffsets[l] = off
+		if m.OnSlotOffset != nil {
+			m.OnSlotOffset(l, off, peer)
+		}
 	case OpSetAFH:
 		cm, err := hop.FromBitmask(pdu.Params)
 		if err != nil || len(pdu.Params) < 14 {

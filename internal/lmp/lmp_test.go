@@ -131,6 +131,133 @@ func TestParkNegotiation(t *testing.T) {
 	}
 }
 
+// pairWith builds a connected master/slave like pair, but lets the test
+// shape both device configs first (short supervision timeouts etc).
+func pairWith(t *testing.T, shape func(master, slave *baseband.Config)) (*sim.Kernel, *Manager, *Manager, *baseband.Link, *baseband.Link) {
+	t.Helper()
+	k := sim.NewKernel()
+	ch := channel.New(k, sim.NewRand(42), channel.Config{})
+	mc := baseband.Config{Addr: baseband.BDAddr{LAP: 0x101010, UAP: 1}}
+	sc := baseband.Config{Addr: baseband.BDAddr{LAP: 0x202020, UAP: 2}, ClockPhase: 4242}
+	if shape != nil {
+		shape(&mc, &sc)
+	}
+	m := baseband.New(k, ch, "master", mc)
+	s := baseband.New(k, ch, "slave", sc)
+	mm, sm := Attach(m), Attach(s)
+	var ml, sl *baseband.Link
+	m.OnConnected = func(l *baseband.Link) { ml = l }
+	s.OnConnected = func(l *baseband.Link) { sl = l }
+	s.StartPageScan()
+	est := m.EstimateOf(baseband.InquiryResult{CLKN: s.Clock.CLKN(0), At: 0}, 0)
+	m.StartPage(s.Addr(), est, 2048, nil)
+	k.RunUntil(sim.Time(sim.Slots(600)))
+	if ml == nil || sl == nil {
+		t.Fatal("pair did not connect")
+	}
+	return k, mm, sm, ml, sl
+}
+
+// TestParkModeEndToEnd drives park over the air the way Figs 10-12
+// drive sniff and hold: LMP negotiation in, beacon-based survival while
+// parked, direct unpark out, data flowing again afterwards. The
+// supervision timeout is deliberately shorter than the parked horizon,
+// so the test fails if the master's beacons ever stop keeping the
+// parked slave synchronised.
+func TestParkModeEndToEnd(t *testing.T) {
+	k, mm, sm, ml, sl := pairWith(t, func(mc, sc *baseband.Config) {
+		mc.SupervisionTimeoutSlots = 2000
+		sc.SupervisionTimeoutSlots = 2000
+	})
+	master, sdevice := mm.Dev(), sm.Dev()
+
+	// Active-mode RX duty as the baseline the park saving is judged by.
+	sdevice.RxMeter.Reset()
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(4000)))
+	activeRx := sdevice.RxMeter.Activity()
+
+	var accepted bool
+	var dropped string
+	sdevice.OnDisconnected = func(_ *baseband.Link, reason string) { dropped = reason }
+	master.OnDisconnected = func(_ *baseband.Link, reason string) { dropped = reason }
+	mm.RequestPark(ml, 64, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(400)))
+	if !accepted || ml.Mode() != baseband.ModePark || sl.Mode() != baseband.ModePark {
+		t.Fatalf("park not negotiated: accepted=%v modes %v/%v", accepted, ml.Mode(), sl.Mode())
+	}
+
+	// Parked horizon of 6000 slots >> the 2000-slot supervision timeout:
+	// only the broadcast beacons can keep both ends alive.
+	sdevice.RxMeter.Reset()
+	beforeRx := sdevice.Counters.RxPackets
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(6000)))
+	parkedRx := sdevice.RxMeter.Activity()
+	if dropped != "" {
+		t.Fatalf("link died while parked: %s", dropped)
+	}
+	if got := sdevice.Counters.RxPackets - beforeRx; got < 50 {
+		t.Fatalf("parked slave heard only %d beacons over 6000 slots (beacon every 64)", got)
+	}
+	if parkedRx >= activeRx/4 {
+		t.Fatalf("park saves no RF: parked %.4f%% vs active %.4f%%", parkedRx*100, activeRx*100)
+	}
+
+	// Unpark both ends (the spec unparks via the beacon broadcast
+	// channel, which this model does not carry LMP over) and confirm the
+	// link is immediately usable for data again.
+	ml.Unpark()
+	sl.Unpark()
+	var got []byte
+	sdevice.OnData = func(_ *baseband.Link, payload []byte, _ uint8) { got = append(got, payload...) }
+	ml.Send([]byte("back to active"), 2)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(200)))
+	if string(got) != "back to active" {
+		t.Fatalf("no data after unpark: %q", got)
+	}
+}
+
+func TestSlotOffsetHandshake(t *testing.T) {
+	k, mm, sm, ml, sl := pair(t)
+	var gotUS uint16
+	var gotPeer baseband.BDAddr
+	mm.OnSlotOffset = func(_ *baseband.Link, us uint16, peer baseband.BDAddr) { gotUS, gotPeer = us, peer }
+	sm.SendSlotOffset(sl, 312)
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(200)))
+	if gotUS != 312 {
+		t.Fatalf("slot offset = %d, want 312", gotUS)
+	}
+	if gotPeer != sm.Dev().Addr() {
+		t.Fatalf("peer addr = %v, want %v", gotPeer, sm.Dev().Addr())
+	}
+	if us, ok := mm.PeerSlotOffset(ml); !ok || us != 312 {
+		t.Fatalf("PeerSlotOffset = %d,%v", us, ok)
+	}
+	if _, ok := sm.PeerSlotOffset(sl); ok {
+		t.Fatal("slave never received a slot offset")
+	}
+}
+
+// TestPresenceHandshakePinsWindow runs the full bridge handshake from
+// the slave side: slot offset then sniff, the master honouring the
+// announced window afterwards.
+func TestPresenceHandshakePinsWindow(t *testing.T) {
+	k, mm, sm, ml, sl := pair(t)
+	var accepted bool
+	var offUS uint16
+	mm.OnSlotOffset = func(_ *baseband.Link, us uint16, _ baseband.BDAddr) { offUS = us }
+	sm.RequestPresence(sl, 128, 8, 3, 625, func(ok bool) { accepted = ok })
+	k.RunUntil(k.Now() + sim.Time(sim.Slots(800)))
+	if !accepted {
+		t.Fatal("presence request not accepted")
+	}
+	if offUS != 625 {
+		t.Fatalf("slot offset not announced first: %d", offUS)
+	}
+	if ml.Mode() != baseband.ModeSniff || sl.Mode() != baseband.ModeSniff {
+		t.Fatalf("presence window not pinned: %v/%v", ml.Mode(), sl.Mode())
+	}
+}
+
 func TestDetachNotifies(t *testing.T) {
 	k, mm, sm, ml, _ := pair(t)
 	var detached bool

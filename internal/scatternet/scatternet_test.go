@@ -1,0 +1,152 @@
+package scatternet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// build stands a scatternet up and starts the given flows.
+func build(seed uint64, cfg Config, flows ...FlowSpec) *Net {
+	n := New(core.Options{Seed: seed}, cfg)
+	n.StartTraffic(flows...)
+	return n
+}
+
+// measure runs a settle window, resets, and measures for slots.
+func measure(n *Net, slots uint64) Totals {
+	n.Sim.RunSlots(uint64(3 * n.cfg.PresencePeriodSlots))
+	n.ResetStats()
+	n.Sim.RunSlots(slots)
+	return n.Totals()
+}
+
+func TestBridgeDeliversAcrossPiconets(t *testing.T) {
+	n := build(7, Config{Piconets: 2})
+	tot := measure(n, 8000)
+	if tot.DeliveredBytes == 0 {
+		t.Fatal("no end-to-end delivery across the bridge")
+	}
+	if tot.RouteMisses != 0 {
+		t.Fatalf("%d route misses", tot.RouteMisses)
+	}
+	if tot.ForwardedFrames == 0 {
+		t.Fatal("bridge forwarded nothing")
+	}
+	// The radio must actually have timeshared: 8000 slots / half-period
+	// of 128 slots is ~62 boundaries.
+	if tot.MembershipSwitches < 40 {
+		t.Fatalf("only %d membership switches over 8000 slots", tot.MembershipSwitches)
+	}
+	// With a saturating source the bounded queue pins the forwarding
+	// latency near capacity/drain-rate; far beyond that means the bound
+	// stopped working and the queue diverged.
+	maxLat := float64(n.cfg.MaxQueueFrames) * float64(n.cfg.PresencePeriodSlots) / 4
+	if tot.FwdLatencyMeanSlots <= 0 || tot.FwdLatencyMeanSlots > maxLat {
+		t.Fatalf("forwarding latency %v slots implausible (bound %v)", tot.FwdLatencyMeanSlots, maxLat)
+	}
+	if tot.E2ELatencyMeanSlots < tot.FwdLatencyMeanSlots {
+		t.Fatalf("end-to-end latency %v below bridge latency %v",
+			tot.E2ELatencyMeanSlots, tot.FwdLatencyMeanSlots)
+	}
+	if tot.QueueMaxDepth == 0 {
+		t.Fatal("queue gauge never saw the backlog")
+	}
+	f := n.Flows[0]
+	if f.DeliveredBytes != tot.DeliveredBytes {
+		t.Fatalf("flow accounting (%d) disagrees with net accounting (%d)",
+			f.DeliveredBytes, tot.DeliveredBytes)
+	}
+}
+
+func TestReverseFlowUsesOppositeWindows(t *testing.T) {
+	n := build(11, Config{Piconets: 2},
+		FlowSpec{From: SlaveName(1, 1), To: MasterName(0)})
+	tot := measure(n, 8000)
+	if tot.DeliveredBytes == 0 {
+		t.Fatal("reverse flow delivered nothing")
+	}
+	if tot.RouteMisses != 0 {
+		t.Fatalf("%d route misses", tot.RouteMisses)
+	}
+}
+
+func TestChainOfThreePiconets(t *testing.T) {
+	n := build(13, Config{Piconets: 3})
+	tot := measure(n, 12000)
+	if len(n.Bridges) != 2 {
+		t.Fatalf("chain of 3 needs 2 bridges, got %d", len(n.Bridges))
+	}
+	if tot.DeliveredBytes == 0 {
+		t.Fatal("no delivery across a two-bridge chain")
+	}
+	for _, b := range n.Bridges {
+		if b.Forwarded == 0 {
+			t.Fatalf("bridge %d forwarded nothing", b.Index)
+		}
+	}
+}
+
+func TestGoodputMonotoneInPresenceDuty(t *testing.T) {
+	delivered := func(duty float64) int {
+		n := build(17, Config{Piconets: 2, PresenceDuty: duty})
+		return measure(n, 8000).DeliveredBytes
+	}
+	lo, mid, hi := delivered(0.3), delivered(0.6), delivered(0.9)
+	if lo <= 0 {
+		t.Fatal("no goodput at duty 0.3")
+	}
+	if !(lo < mid && mid < hi) {
+		t.Fatalf("goodput not monotone in duty: %d, %d, %d bytes", lo, mid, hi)
+	}
+}
+
+// TestShortPeriodBoundaries stresses the retune boundary: with a 64-slot
+// period the bridge switches piconets every 32 slots, so mid-exchange
+// abandons happen constantly and everything must still flow.
+func TestShortPeriodBoundaries(t *testing.T) {
+	n := build(19, Config{Piconets: 2, PresencePeriodSlots: 64, PresenceDuty: 1, GuardEvenSlots: 2})
+	tot := measure(n, 8000)
+	if tot.DeliveredBytes == 0 {
+		t.Fatal("no delivery under rapid timesharing")
+	}
+	if tot.MembershipSwitches < 200 {
+		t.Fatalf("only %d switches with a 64-slot period", tot.MembershipSwitches)
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	run := func() string {
+		n := build(23, Config{Piconets: 2})
+		tot := measure(n, 4000)
+		return fmt.Sprintf("%+v", tot)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical seeds diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		cfg.normalize()
+	}
+	mustPanic("1 piconet", Config{Piconets: 1})
+	mustPanic("odd period", Config{PresencePeriodSlots: 130})
+	mustPanic("tiny period", Config{PresencePeriodSlots: 32})
+	mustPanic("duty over 1", Config{PresenceDuty: 1.5})
+	mustPanic("window eaten by guard", Config{PresenceDuty: 0.03})
+	mustPanic("too many members", Config{Piconets: 3, Slaves: 6})
+	ok := Config{}
+	ok.normalize()
+	if ok.Piconets != 2 || ok.PresencePeriodSlots != 256 || ok.PresenceDuty != 0.8 {
+		t.Fatalf("defaults wrong: %+v", ok)
+	}
+}

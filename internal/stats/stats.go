@@ -115,6 +115,69 @@ func (s *Sample) Max() float64 {
 	return m
 }
 
+// Occupancy is a time-weighted gauge for queue depths: every Observe
+// books the previous depth for the time it was held, so Mean is the
+// true time average ∫depth·dt / observed span rather than a per-event
+// average (a queue that sits at depth 10 for a thousand slots and at 0
+// for one slot should not average 5). Times are caller units — the
+// simulators feed slot counts. Like the other accumulators it merges:
+// replica gauges combined in any order reproduce the pooled time
+// average, which is what lets the parallel runner fan scatternet
+// replicas out and still report one bridge-queue figure.
+type Occupancy struct {
+	cur    int
+	lastAt uint64
+	live   bool
+
+	weighted float64 // ∫ depth dt over the observed span
+	span     uint64  // total observed time
+	// Max is the largest depth ever observed.
+	Max int
+}
+
+// Observe records that the depth changed to depth at time now; the
+// previous depth is charged for the elapsed interval. Non-monotonic
+// times are ignored (the gauge never goes backwards).
+func (o *Occupancy) Observe(depth int, now uint64) {
+	if o.live && now >= o.lastAt {
+		o.weighted += float64(o.cur) * float64(now-o.lastAt)
+		o.span += now - o.lastAt
+	}
+	o.cur = depth
+	o.lastAt = now
+	o.live = true
+	if depth > o.Max {
+		o.Max = depth
+	}
+}
+
+// Finish closes the observation window at now, charging the current
+// depth up to that instant. Call once at the end of a measurement;
+// further Observes reopen the window.
+func (o *Occupancy) Finish(now uint64) { o.Observe(o.cur, now) }
+
+// Mean returns the time-weighted average depth over the observed span
+// (0 before any interval has closed).
+func (o *Occupancy) Mean() float64 {
+	if o.span == 0 {
+		return 0
+	}
+	return o.weighted / float64(o.span)
+}
+
+// Span returns the total observed time.
+func (o *Occupancy) Span() uint64 { return o.span }
+
+// Merge pools b's observed time into o: integrals and spans add, the
+// maximum is the larger of the two. Merging is order-independent.
+func (o *Occupancy) Merge(b *Occupancy) {
+	o.weighted += b.weighted
+	o.span += b.span
+	if b.Max > o.Max {
+		o.Max = b.Max
+	}
+}
+
 // Counter tracks success rates over trials.
 type Counter struct {
 	Success int

@@ -201,3 +201,57 @@ func TestCounterMap(t *testing.T) {
 		}
 	}
 }
+
+func TestOccupancyTimeWeightedMean(t *testing.T) {
+	var o Occupancy
+	o.Observe(0, 0)   // depth 0 from t=0
+	o.Observe(10, 10) // 0 held for 10
+	o.Observe(2, 20)  // 10 held for 10
+	o.Finish(40)      // 2 held for 20
+	// ∫ = 0*10 + 10*10 + 2*20 = 140 over span 40.
+	if got := o.Mean(); got != 3.5 {
+		t.Fatalf("Mean = %v, want 3.5", got)
+	}
+	if o.Max != 10 {
+		t.Fatalf("Max = %d, want 10", o.Max)
+	}
+	if o.Span() != 40 {
+		t.Fatalf("Span = %d, want 40", o.Span())
+	}
+	// Finish is idempotent at the same instant.
+	o.Finish(40)
+	if got := o.Mean(); got != 3.5 {
+		t.Fatalf("Mean after re-Finish = %v", got)
+	}
+}
+
+func TestOccupancyEmptyAndBackwards(t *testing.T) {
+	var o Occupancy
+	if o.Mean() != 0 || o.Max != 0 {
+		t.Fatal("zero value must read as empty")
+	}
+	o.Observe(5, 100)
+	o.Observe(7, 50) // time going backwards is ignored, depth still tracked
+	if o.Max != 7 {
+		t.Fatalf("Max = %d", o.Max)
+	}
+	if o.Span() != 0 {
+		t.Fatalf("backwards interval booked: span %d", o.Span())
+	}
+}
+
+func TestOccupancyMergePoolsReplicas(t *testing.T) {
+	var a, b Occupancy
+	a.Observe(4, 0)
+	a.Finish(10) // 4 for 10
+	b.Observe(8, 0)
+	b.Finish(30) // 8 for 30
+	a.Merge(&b)
+	// Pooled: (40 + 240) / 40 = 7.
+	if got := a.Mean(); got != 7 {
+		t.Fatalf("merged Mean = %v, want 7", got)
+	}
+	if a.Max != 8 || a.Span() != 40 {
+		t.Fatalf("merged Max/Span = %d/%d", a.Max, a.Span())
+	}
+}

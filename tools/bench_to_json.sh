@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench_to_json.sh <bench-output.txt> <out.json> — converts raw
+# `go test -bench` output into the per-commit JSON artifact the CI
+# bench job uploads (BENCH_<sha>.json), so the perf trajectory
+# accumulates one parseable file per commit. Each benchmark's metrics
+# are broken out as JSON, and the raw benchmark-format lines (header
+# included) are preserved under "lines", which keeps the artifact
+# benchstat-parseable:
+#
+#   jq -r '.lines[]' BENCH_<sha>.json | benchstat /dev/stdin
+#
+# or, comparing two commits:
+#
+#   jq -r '.lines[]' BENCH_old.json > old.txt
+#   jq -r '.lines[]' BENCH_new.json > new.txt
+#   benchstat old.txt new.txt
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <bench-output.txt> <out.json>" >&2
+    exit 2
+fi
+
+awk '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); return s }
+BEGIN { nb = 0; nl = 0 }
+/^(goos|goarch|pkg|cpu): / {
+    split($0, kv, ": ")
+    hdr[kv[1]] = kv[2]
+    line[nl++] = $0
+}
+/^Benchmark/ && NF >= 2 {
+    line[nl++] = $0
+    m = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        m = m sprintf("%s\"%s\": %s", (m == "" ? "" : ", "), jesc($(i+1)), $i)
+    }
+    b[nb++] = sprintf("{\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}",
+                      jesc($1), $2, m)
+}
+END {
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n", jesc(hdr["goos"])
+    printf "  \"goarch\": \"%s\",\n", jesc(hdr["goarch"])
+    printf "  \"cpu\": \"%s\",\n", jesc(hdr["cpu"])
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < nb; i++) printf "    %s%s\n", b[i], (i < nb - 1 ? "," : "")
+    printf "  ],\n"
+    printf "  \"lines\": [\n"
+    for (i = 0; i < nl; i++) printf "    \"%s\"%s\n", jesc(line[i]), (i < nl - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$1" > "$2"

@@ -1,8 +1,10 @@
 #!/bin/sh
 # check_pkg_docs.sh — the CI docs gate: every internal/ package must
 # carry a proper godoc package comment ("// Package <name> ..." directly
-# above its package clause in at least one file). Exits nonzero and
-# lists the offenders otherwise.
+# above its package clause in at least one file) AND a row in the
+# ARCHITECTURE.md package map, so a new package cannot land without its
+# place in the layer diagram. Exits nonzero and lists the offenders
+# otherwise.
 set -u
 
 fail=0
@@ -21,6 +23,10 @@ for dir in internal/*/; do
     done
     if [ "$found" -eq 0 ]; then
         echo "missing package comment: $dir"
+        fail=1
+    fi
+    if ! grep -q "| \`$pkg\`" ARCHITECTURE.md; then
+        echo "missing from ARCHITECTURE.md package map: $pkg"
         fail=1
     fi
 done
