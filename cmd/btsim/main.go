@@ -20,6 +20,8 @@
 //	btsim -scenario coex -piconets 6 -trials 50 -workers 8
 //	btsim -scenario afh-adaptive -jam-duty 0.9 -assess-window 2000
 //	btsim -scenario scatternet -bridges 2 -presence 0.8
+//	btsim -scenario mixed -piconets 3
+//	btsim -scenario mesh -presence 0.8
 package main
 
 import (
@@ -62,7 +64,7 @@ func main() {
 		jamDuty: *jamDuty, jamWidth: *jamWidth,
 		bridges: *bridges, presence: *presence,
 	}
-	if err := validateParams(p); err != nil {
+	if err := validateParams(*scenario, p); err != nil {
 		fmt.Fprintf(os.Stderr, "btsim: %v\n", err)
 		os.Exit(1)
 	}

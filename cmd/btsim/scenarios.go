@@ -6,12 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/baseband"
-	"repro/internal/channel"
-	"repro/internal/coex"
 	"repro/internal/core"
 	"repro/internal/hop"
+	"repro/internal/netspec"
 	"repro/internal/packet"
-	"repro/internal/scatternet"
 	"repro/internal/stats"
 )
 
@@ -23,12 +21,12 @@ type trialParams struct {
 	slots        uint64
 	tsniff       int
 	thold        int
-	piconets     int     // coex scenarios: co-located piconets
+	piconets     int     // coex/mixed scenarios: co-located piconets
 	assessWindow int     // afh-adaptive: classification window in slots
 	jamDuty      float64 // afh-adaptive: jammer duty cycle
 	jamWidth     int     // afh-adaptive: jammed channels starting at 30
 	bridges      int     // scatternet: bridge count (piconets = bridges+1)
-	presence     float64 // scatternet: bridge presence duty cycle
+	presence     float64 // scatternet/mesh: bridge presence duty cycle
 }
 
 // trialOutcome is the mergeable result of one scenario run: named
@@ -62,7 +60,8 @@ type scenarioInfo struct {
 // scenarioRegistry is the single source of truth for the scenario list:
 // the -scenario flag help, the full usage text and the validator all
 // derive from it (the README scenario table mirrors it). Keep an entry
-// here for every case runScenario handles.
+// here for every case runScenario handles; TestScenarioRegistryRuns
+// executes each one, so a registered scenario cannot rot.
 var scenarioRegistry = []scenarioInfo{
 	{"creation", "master + N slaves create a piconet (paper Fig 5)"},
 	{"discovery", "inquiry finds the neighbours under noise (paper Fig 6)"},
@@ -75,6 +74,8 @@ var scenarioRegistry = []scenarioInfo{
 	{"coex4", "four co-located piconets"},
 	{"afh-adaptive", "one piconet learns its AFH map under a -jam-duty jammer"},
 	{"scatternet", "-bridges bridges chain -bridges+1 piconets, L2CAP forwarded end to end"},
+	{"mixed", "-piconets piconets share the medium: SCO voice on the first, bulk ACL on the rest"},
+	{"mesh", "3-piconet scatternet with crossing end-to-end flows in both directions"},
 }
 
 // validScenario reports whether name is registered.
@@ -106,147 +107,392 @@ func scenarioUsage() string {
 	return sb.String()
 }
 
-// buildWorld assembles the master + N slave world every scenario
-// starts from.
-func buildWorld(seed uint64, ber float64, slaves int, trace io.Writer) (*core.Simulation, *baseband.Device, []*baseband.Device) {
-	s := core.NewSimulation(core.Options{Seed: seed, BER: ber, TraceTo: trace})
-	master := s.AddDevice("master", baseband.Config{
-		Addr: baseband.BDAddr{LAP: 0x101000, UAP: 0x01, NAP: 0x0001},
-	})
-	var devs []*baseband.Device
-	for i := 0; i < slaves; i++ {
-		devs = append(devs, s.AddDevice(fmt.Sprintf("slave%d", i+1), baseband.Config{
-			Addr: baseband.BDAddr{LAP: 0x202000 + uint32(i)*0x10100, UAP: uint8(i + 2), NAP: 0x0002},
-		}))
+// slaveProbe is the activity probe every piconet-scenario spec carries
+// so the replica campaigns can fold slave RF activity.
+var slaveProbe = netspec.Probe{Name: "slaves", Kind: netspec.ProbeSlaveActivity, Piconet: netspec.AllPiconets}
+
+// bridgeProbe samples the bridges of the relay scenarios.
+var bridgeProbe = netspec.Probe{Name: "bridges", Kind: netspec.ProbeBridgeActivity}
+
+// buildSpec compiles one scenario's world description. Every scenario
+// is a netspec.Spec literal plus the flag overrides in p — adding one
+// means adding a case here and a registry entry above.
+func buildSpec(scenario string, p trialParams) netspec.Spec {
+	switch scenario {
+	case "creation", "transfer":
+		return netspec.Spec{
+			Piconets: []netspec.Piconet{netspec.NewPiconet(p.slaves, netspec.WithR1PageScan())},
+			Probes:   []netspec.Probe{slaveProbe},
+		}
+	case "discovery":
+		return netspec.Spec{
+			Piconets: []netspec.Piconet{netspec.NewPiconet(p.slaves, netspec.Detached(), netspec.WithR1PageScan())},
+			Probes:   []netspec.Probe{slaveProbe},
+		}
+	case "sniff":
+		// First slave stays active (as in Fig 9), the rest sniff.
+		var modes []netspec.PowerMode
+		first := 2
+		if p.slaves == 1 {
+			first = 1
+		}
+		for j := first; j <= p.slaves; j++ {
+			modes = append(modes, netspec.PowerMode{
+				Kind: netspec.SniffMode, Slave: j, TsniffSlots: p.tsniff,
+			})
+		}
+		return netspec.Spec{
+			Piconets: []netspec.Piconet{netspec.NewPiconet(p.slaves, netspec.WithR1PageScan())},
+			Modes:    modes,
+			Probes:   []netspec.Probe{slaveProbe},
+		}
+	case "hold":
+		return netspec.Spec{
+			Piconets: []netspec.Piconet{netspec.NewPiconet(p.slaves, netspec.WithR1PageScan())},
+			Modes:    []netspec.PowerMode{{Kind: netspec.HoldMode, TholdSlots: p.thold}},
+			Probes:   []netspec.Probe{slaveProbe},
+		}
+	case "park":
+		return netspec.Spec{
+			Piconets: []netspec.Piconet{netspec.NewPiconet(p.slaves, netspec.WithR1PageScan())},
+			Modes:    []netspec.PowerMode{{Kind: netspec.ParkMode, BeaconSlots: 64}},
+			Probes:   []netspec.Probe{slaveProbe},
+		}
+	case "coex", "coex2", "coex4":
+		piconets := map[string]int{"coex2": 2, "coex4": 4}[scenario]
+		if piconets == 0 {
+			piconets = p.piconets
+		}
+		return netspec.Spec{
+			Piconets: netspec.HomogeneousPiconets(piconets, p.slaves, netspec.WithTpoll(netspec.TpollNever)),
+			Traffic:  []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+			Probes:   []netspec.Probe{slaveProbe},
+		}
+	case "afh-adaptive":
+		lo, hi := jamBand(p)
+		return netspec.Spec{
+			Piconets: []netspec.Piconet{
+				netspec.NewPiconet(p.slaves, netspec.WithAdaptiveAFH(p.assessWindow),
+					netspec.WithTpoll(netspec.TpollNever)),
+			},
+			Traffic: []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+			Jammers: []netspec.Jammer{{Lo: lo, Hi: hi, Duty: p.jamDuty}},
+			Probes:  []netspec.Probe{slaveProbe},
+		}
+	case "scatternet":
+		piconets := p.bridges + 1
+		return netspec.Spec{
+			Piconets: netspec.HomogeneousPiconets(piconets, chainSlaves(p.slaves, piconets)),
+			Bridges:  netspec.ChainBridges(piconets, netspec.WithPresence(p.presence)),
+			Traffic: []netspec.Traffic{
+				netspec.FlowTraffic(netspec.MasterName(0), netspec.SlaveName(piconets-1, 1)),
+			},
+			Probes: []netspec.Probe{bridgeProbe},
+		}
+	case "mixed":
+		piconets := p.piconets // validateParams pins >= 2 for mixed
+		// HV3 reserves one even slot in three, so at most three voice
+		// streams interleave on the first piconet.
+		pics := []netspec.Piconet{netspec.NewPiconet(min(p.slaves, 3))}
+		traffic := []netspec.Traffic{netspec.VoiceTraffic(0, packet.TypeHV3)}
+		for i := 1; i < piconets; i++ {
+			pics = append(pics, netspec.NewPiconet(p.slaves, netspec.WithTpoll(netspec.TpollNever)))
+			traffic = append(traffic, netspec.BulkTraffic(i))
+		}
+		return netspec.Spec{Piconets: pics, Traffic: traffic, Probes: []netspec.Probe{slaveProbe}}
+	case "mesh":
+		return netspec.Spec{
+			Piconets: netspec.HomogeneousPiconets(3, chainSlaves(p.slaves, 3)),
+			Bridges:  netspec.ChainBridges(3, netspec.WithPresence(p.presence)),
+			Traffic: []netspec.Traffic{
+				netspec.FlowTraffic(netspec.MasterName(0), netspec.SlaveName(2, 1)),
+				netspec.FlowTraffic(netspec.MasterName(2), netspec.SlaveName(0, 1)),
+			},
+			Probes: []netspec.Probe{bridgeProbe},
+		}
 	}
-	return s, master, devs
+	panic(fmt.Sprintf("unknown scenario %q", scenario))
 }
 
-// runScenario drives one scenario on its own simulation world. logf
-// receives the narrative a single interactive run prints (nil for the
-// silent replicas of a -trials campaign); the returned outcome carries
-// the statistics either way. Setup failures under heavy noise panic,
-// as BuildPiconet does — the -trials path recovers per replica, a
-// single run crashes loudly.
+// chainSlaves clamps the slave count so a chain master can host its
+// slaves plus one bridge (chain ends) or two (middle masters) within
+// the 7 active members a piconet supports.
+func chainSlaves(slaves, piconets int) int {
+	maxSlaves := 6
+	if piconets > 2 {
+		maxSlaves = 5
+	}
+	return min(slaves, maxSlaves)
+}
+
+// jamBand resolves the afh-adaptive jammer band from the flags.
+func jamBand(p trialParams) (lo, hi int) {
+	lo = 30
+	hi = lo + max(p.jamWidth, 1) - 1
+	if hi >= hop.NumChannels {
+		hi = hop.NumChannels - 1
+	}
+	return lo, hi
+}
+
+// runScenario drives one scenario on its own simulation world: compile
+// the spec, build, start traffic, run the measurement window, read the
+// unified metrics. logf receives the narrative a single interactive
+// run prints (nil for the silent replicas of a -trials campaign); the
+// returned outcome carries the statistics either way. Setup failures
+// under heavy noise panic, as BuildPiconet does — the -trials path
+// recovers per replica, a single run crashes loudly.
 func runScenario(scenario string, seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	switch scenario {
-	case "coex", "coex2", "coex4":
-		return runCoexScenario(scenario, seed, p, trace, logf)
-	case "afh-adaptive":
-		return runAdaptiveScenario(seed, p, trace, logf)
-	case "scatternet":
-		return runScatternetScenario(seed, p, trace, logf)
-	}
 	var out trialOutcome
 	out.Out = stats.CounterMap{}
-	s, master, devs := buildWorld(seed, p.ber, p.slaves, trace)
 
+	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
+	w, err := netspec.Build(s, buildSpec(scenario, p))
+	if err != nil {
+		panic(fmt.Sprintf("btsim: %v", err))
+	}
+	out.Out.Observe("setup_ok", true)
+
+	var m *netspec.Metrics
 	switch scenario {
 	case "discovery":
-		for _, d := range devs {
-			d.StartInquiryScan()
-		}
-		logf("master entering INQUIRY; slaves in INQUIRY SCAN\n")
-		found := 0
-		master.StartInquiry(4096, len(devs), func(rs []baseband.InquiryResult, ok bool) {
-			logf("inquiry complete after %d slots: %d device(s) found (ok=%v)\n",
-				master.InquirySlots(), len(rs), ok)
-			for _, r := range rs {
-				logf("  found %v class=%06X clkn=%d\n", r.Addr, r.Class, r.CLKN)
-			}
-			found = len(rs)
-			out.Out.Observe("inquiry_ok", ok)
-		})
-		s.RunSlots(5000)
-		out.Out.Observe("all_found", found == len(devs))
+		runDiscovery(w, p, logf, &out)
 	case "creation":
-		logf("building piconet: master + %d slaves (paper Fig 5 scenario)\n", len(devs))
-		links := s.BuildPiconet(master, devs...)
-		out.Out.Observe("setup_ok", true)
-		for _, l := range links {
-			logf("  connected %v as AM_ADDR %d at slot %d\n", l.Peer, l.AMAddr, s.Now())
+		pic := w.Piconets[0]
+		logf("built piconet: master + %d slaves (paper Fig 5 scenario)\n", len(pic.Slaves))
+		for _, l := range pic.Links {
+			logf("  connected %v as AM_ADDR %d by slot %d\n", l.Peer, l.AMAddr, s.Now())
 		}
-		if len(links) > 0 {
-			links[0].Send([]byte("hello piconet"), packet.LLIDL2CAPStart)
-		}
+		pic.Links[0].Send([]byte("hello piconet"), packet.LLIDL2CAPStart)
 		s.RunSlots(p.slots)
 	case "sniff":
-		links := s.BuildPiconet(master, devs...)
-		out.Out.Observe("setup_ok", true)
 		logf("piconet up; putting %d slave(s) into SNIFF (Tsniff=%d slots) — paper Fig 9\n",
-			max(len(links)-1, 1), p.tsniff)
-		// First slave stays active (as in Fig 9), the rest sniff.
-		for i := 1; i < len(links); i++ {
-			links[i].EnterSniff(p.tsniff, 2, 0)
-			devs[i].MasterLink().EnterSniff(p.tsniff, 2, 0)
-		}
-		if len(links) == 1 {
-			links[0].EnterSniff(p.tsniff, 2, 0)
-			devs[0].MasterLink().EnterSniff(p.tsniff, 2, 0)
-		}
-		for _, d := range devs {
-			core.ResetMeters(d)
-		}
+			max(p.slaves-1, 1), p.tsniff)
+		w.ResetMetrics()
 		s.RunSlots(p.slots)
 	case "hold":
-		links := s.BuildPiconet(master, devs...)
-		out.Out.Observe("setup_ok", true)
 		logf("piconet up; slaves entering repeating HOLD (Thold=%d slots) — paper Fig 12 workload\n", p.thold)
-		for i, l := range links {
-			l.EnterHoldRepeating(p.thold)
-			devs[i].MasterLink().EnterHoldRepeating(p.thold)
-		}
-		for _, d := range devs {
-			core.ResetMeters(d)
-		}
+		w.ResetMetrics()
 		s.RunSlots(p.slots)
 	case "park":
-		links := s.BuildPiconet(master, devs...)
-		out.Out.Observe("setup_ok", true)
 		logf("piconet up; parking every slave (beacon every 64 slots)\n")
-		for i, l := range links {
-			l.EnterPark(64)
-			devs[i].MasterLink().EnterPark(64)
-		}
-		for _, d := range devs {
-			core.ResetMeters(d)
-		}
+		w.ResetMetrics()
 		s.RunSlots(p.slots)
 	case "transfer":
-		links := s.BuildPiconet(master, devs...)
-		out.Out.Observe("setup_ok", true)
-		total := 0
-		for _, d := range devs {
-			d.OnData = func(_ *baseband.Link, pl []byte, _ uint8) { total += len(pl) }
-		}
-		const chunk = 1024
-		for _, l := range links {
-			l.PacketType = packet.TypeDM3
-			l.Send(make([]byte, chunk), packet.LLIDL2CAPStart)
-		}
-		logf("piconet up; sending %d bytes to each of %d slaves (DM3, BER from -ber)\n", chunk, len(links))
-		s.RunSlots(p.slots)
-		logf("delivered %d/%d bytes; master retransmissions: %d\n",
-			total, chunk*len(links), master.Counters.Retransmits)
-		out.Out.Observe("all_delivered", total == chunk*len(links))
-	default:
-		panic(fmt.Sprintf("unknown scenario %q", scenario))
+		m = runTransfer(w, p, logf, &out)
+	case "coex", "coex2", "coex4":
+		m = runCoex(w, p, logf, &out)
+	case "afh-adaptive":
+		m = runAdaptive(w, p, logf, &out)
+	case "scatternet":
+		m = runChain(w, p, logf, &out, true)
+	case "mixed":
+		m = runMixed(w, p, logf, &out)
+	case "mesh":
+		m = runChain(w, p, logf, &out, false)
 	}
 
-	for _, d := range devs {
-		tx, rx := core.Activity(d)
-		out.Tx.Add(tx)
-		out.Rx.Add(rx)
+	if m == nil {
+		mm := w.Metrics()
+		m = &mm
 	}
+	addActivity(m, &out)
 	return s, out
 }
 
+// runDiscovery drives the inquiry procedure over the detached world.
+func runDiscovery(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome) {
+	pic := w.Piconets[0]
+	for _, d := range pic.Slaves {
+		d.StartInquiryScan()
+	}
+	logf("master entering INQUIRY; slaves in INQUIRY SCAN\n")
+	found := 0
+	pic.Master.StartInquiry(4096, len(pic.Slaves), func(rs []baseband.InquiryResult, ok bool) {
+		logf("inquiry complete after %d slots: %d device(s) found (ok=%v)\n",
+			pic.Master.InquirySlots(), len(rs), ok)
+		for _, r := range rs {
+			logf("  found %v class=%06X clkn=%d\n", r.Addr, r.Class, r.CLKN)
+		}
+		found = len(rs)
+		out.Out.Observe("inquiry_ok", ok)
+	})
+	w.Sim.RunSlots(5000)
+	out.Out.Observe("all_found", found == len(pic.Slaves))
+}
+
+// runTransfer pushes one DM3 bulk chunk to every slave and verifies
+// arrival through the metrics surface.
+func runTransfer(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome) *netspec.Metrics {
+	pic := w.Piconets[0]
+	const chunk = 1024
+	for _, l := range pic.Links {
+		l.PacketType = packet.TypeDM3
+		l.Send(make([]byte, chunk), packet.LLIDL2CAPStart)
+	}
+	logf("piconet up; sending %d bytes to each of %d slaves (DM3, BER from -ber)\n", chunk, len(pic.Links))
+	w.Sim.RunSlots(p.slots)
+	m := w.Metrics()
+	logf("delivered %d/%d bytes; master retransmissions: %d\n",
+		m.Bytes, chunk*len(pic.Links), m.Retransmits)
+	out.Out.Observe("all_delivered", m.Bytes == chunk*len(pic.Links))
+	return &m
+}
+
+// runCoex drives the co-located-piconet scenarios and reports
+// per-piconet goodput plus the attributed collision counts.
+func runCoex(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome) *netspec.Metrics {
+	logf("built %d piconets (1 master + %d slave(s) each) on one shared 79-channel medium\n",
+		len(w.Piconets), len(w.Piconets[0].Slaves))
+	w.Start()
+	w.Sim.RunSlots(64)
+	w.ResetMetrics()
+	w.Sim.RunSlots(p.slots)
+	m := w.Metrics()
+	for i := range w.Piconets {
+		logf("  piconet %d: %.1f kbps goodput\n", i, m.PiconetGoodputKbps(i))
+	}
+	logf("collisions over %d slots: %d inter-piconet, %d intra-piconet; %d master retransmissions\n",
+		m.Slots, m.Inter, m.Intra, m.Retransmits)
+	if ch, count := m.WorstChannel(); ch >= 0 {
+		logf("most-collided RF channel this window: %d (%d collisions)\n", ch, count)
+	}
+	delivered := true
+	for _, b := range m.PerPiconet {
+		delivered = delivered && b > 0
+	}
+	out.Out.Observe("all_piconets_delivered", delivered)
+	out.Out.Observe("inter_collisions_seen", m.Inter > 0)
+	return &m
+}
+
+// runAdaptive runs one piconet under an 802.11-style jammer with
+// adaptive channel classification enabled and reports the learned map
+// against the known jammed band.
+func runAdaptive(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome) *netspec.Metrics {
+	lo, hi := jamBand(p)
+	logf("piconet up under a %d-channel jammer (channels %d-%d, duty %.0f%%); assessing every %d slots\n",
+		hi-lo+1, lo, hi, p.jamDuty*100, p.assessWindow)
+	w.Start()
+	w.Sim.RunSlots(netspec.ConvergenceSlots(p.assessWindow))
+	w.ResetMetrics()
+	w.Sim.RunSlots(p.slots)
+	pic := w.Piconets[0]
+	cm := pic.CurrentMap()
+	excluded := 0
+	if cm != nil {
+		for ch := lo; ch <= hi; ch++ {
+			if !cm.Used(ch) {
+				excluded++
+			}
+		}
+		logf("learned channel map after %d update(s): %d/%d channels in use, %d/%d jammed channels excluded\n",
+			pic.MapUpdates, cm.N(), hop.NumChannels, excluded, hi-lo+1)
+	} else {
+		logf("classifier never narrowed the hop set (%d updates)\n", pic.MapUpdates)
+	}
+	m := w.Metrics()
+	logf("goodput over the %d-slot measurement window: %.1f kbps\n", m.Slots, m.GoodputKbps())
+	out.Out.Observe("map_installed", cm != nil)
+	out.Out.Observe("jam_band_excluded", cm != nil && excluded >= (hi-lo+1)*8/10)
+	return &m
+}
+
+// runChain drives the bridged scenarios (scatternet chain and mesh
+// cross-traffic) and reports the relay statistics; chain additionally
+// narrates the single canonical flow.
+func runChain(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome, chain bool) *netspec.Metrics {
+	logf("built a %d-piconet chain (1 master + %d slave(s) each) joined by %d bridge(s); presence duty %.0f%%, period %d slots\n",
+		len(w.Piconets), len(w.Piconets[0].Slaves), len(w.Bridges), p.presence*100, 256)
+	w.Start()
+	for _, f := range w.Flows {
+		logf("flow: %s -> %s, store-and-forward through every bridge\n", f.From, f.To)
+	}
+	w.Sim.RunSlots(uint64(3 * 256))
+	w.ResetMetrics()
+	w.Sim.RunSlots(p.slots)
+	m := w.Metrics()
+	logf("delivered %d bytes end-to-end over %d slots (%.1f kbps goodput)\n",
+		m.EndToEndBytes, m.Slots, m.GoodputKbps())
+	for _, f := range m.Flows {
+		logf("  %s -> %s: %d bytes, mean latency %.0f slots\n",
+			f.From, f.To, f.DeliveredBytes, f.Latency.Mean())
+	}
+	logf("bridges forwarded %d frame(s), dropped %d; store-and-forward latency %.0f slots mean\n",
+		m.ForwardedFrames, m.DroppedFrames, m.FwdLatency.Mean())
+	logf("bridge queue depth: %.1f mean (time-weighted), %d max; %d membership retunes\n",
+		m.Queue.Mean, m.Queue.Max, m.MembershipSwitches)
+	if chain {
+		out.Out.Observe("delivered_across_piconets", m.EndToEndBytes > 0)
+	} else {
+		delivered := true
+		for _, f := range m.Flows {
+			delivered = delivered && f.DeliveredBytes > 0
+		}
+		out.Out.Observe("both_flows_delivered", delivered)
+	}
+	out.Out.Observe("no_route_misses", m.RouteMisses == 0)
+	out.Out.Observe("radio_timeshared", m.MembershipSwitches > 0)
+	return &m
+}
+
+// runMixed drives voice and bulk piconets on one medium and reports
+// both service classes from the one metrics read.
+func runMixed(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome) *netspec.Metrics {
+	logf("built %d piconets on one medium: piconet 0 carries HV3 voice to %d slave(s), the rest pump bulk ACL\n",
+		len(w.Piconets), len(w.Piconets[0].Slaves))
+	w.Start()
+	w.Sim.RunSlots(64)
+	w.ResetMetrics()
+	w.Sim.RunSlots(p.slots)
+	m := w.Metrics()
+	voiceOK := len(m.Voice) > 0
+	for _, v := range m.Voice {
+		rate, clean := 0.0, 0.0
+		if v.TxFrames > 0 {
+			rate = float64(v.RxFrames) / float64(v.TxFrames)
+			clean = float64(v.BitPerfect) / float64(v.TxFrames)
+		}
+		logf("  voice p%d.slave%d: %d/%d frames delivered (%.1f%%), %.1f%% bit-perfect\n",
+			v.Piconet, v.Slave, v.RxFrames, v.TxFrames, rate*100, clean*100)
+		voiceOK = voiceOK && v.RxFrames > 0
+	}
+	bulkOK := true
+	for i := 1; i < len(w.Piconets); i++ {
+		logf("  bulk  piconet %d: %.1f kbps goodput\n", i, m.PiconetGoodputKbps(i))
+		bulkOK = bulkOK && m.PerPiconet[i] > 0
+	}
+	logf("collisions over %d slots: %d inter-piconet, %d intra-piconet\n", m.Slots, m.Inter, m.Intra)
+	out.Out.Observe("voice_delivered", voiceOK)
+	out.Out.Observe("bulk_delivered", bulkOK)
+	out.Out.Observe("inter_collisions_seen", m.Inter > 0)
+	return &m
+}
+
+// addActivity folds the world's activity probes into the outcome,
+// reusing the metrics the scenario runner already read.
+func addActivity(m *netspec.Metrics, out *trialOutcome) {
+	for _, name := range []string{"slaves", "bridges"} {
+		if pm, ok := m.Probes[name]; ok {
+			out.Tx.Merge(&pm.Tx)
+			out.Rx.Merge(&pm.Rx)
+		}
+	}
+}
+
 // validateParams rejects flag values that would wrap or hang a run
-// (negative windows convert to huge uint64 horizons).
-func validateParams(p trialParams) error {
+// (negative windows convert to huge uint64 horizons) or that the
+// scenario cannot honour.
+func validateParams(scenario string, p trialParams) error {
+	if p.slaves < 1 || p.slaves > 7 {
+		return fmt.Errorf("-slaves must be in 1..7, got %d", p.slaves)
+	}
+	if scenario == "mixed" && p.piconets < 2 {
+		return fmt.Errorf("-scenario mixed needs -piconets >= 2 (voice + at least one bulk piconet), got %d", p.piconets)
+	}
 	if p.assessWindow < 1 {
 		return fmt.Errorf("-assess-window must be >= 1, got %d", p.assessWindow)
 	}
@@ -269,189 +515,4 @@ func validateParams(p trialParams) error {
 		return fmt.Errorf("-presence must be in (0,1], got %g", p.presence)
 	}
 	return nil
-}
-
-// coexPiconetCount resolves the piconet count for a coex scenario: the
-// numbered aliases pin it, plain "coex" takes the -piconets flag.
-func coexPiconetCount(scenario string, p trialParams) int {
-	switch scenario {
-	case "coex2":
-		return 2
-	case "coex4":
-		return 4
-	}
-	return max(p.piconets, 1)
-}
-
-// coexSlaves clamps the -slaves flag to the 1..7 a piconet supports.
-func coexSlaves(p trialParams) int {
-	return min(max(p.slaves, 1), 7)
-}
-
-// runCoexScenario stands N independent piconets up on one shared
-// channel and reports per-piconet goodput plus the attributed
-// inter-/intra-piconet collision counts.
-func runCoexScenario(scenario string, seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
-	var out trialOutcome
-	out.Out = stats.CounterMap{}
-	piconets := coexPiconetCount(scenario, p)
-	slaves := coexSlaves(p)
-	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
-	net := coex.Build(s, coex.Config{Piconets: piconets, Slaves: slaves})
-	out.Out.Observe("setup_ok", true)
-	logf("built %d piconets (1 master + %d slave(s) each) on one shared 79-channel medium\n",
-		piconets, slaves)
-	net.StartTraffic()
-	s.RunSlots(64)
-	net.ResetStats()
-	// Channel-level counters are lifetime; snapshot them so the worst-
-	// channel report below covers the same window as the other lines.
-	before := s.Ch.Stats()
-	s.RunSlots(p.slots)
-	tot := net.Totals()
-	for i, bytes := range tot.PerPiconet {
-		logf("  piconet %d: %.1f kbps goodput\n", i, coex.GoodputKbps(bytes, p.slots))
-	}
-	logf("collisions over %d slots: %d inter-piconet, %d intra-piconet; %d master retransmissions\n",
-		p.slots, tot.Inter, tot.Intra, tot.Retransmits)
-	if ch, count := worstChannel(before, s.Ch.Stats()); ch >= 0 {
-		logf("most-collided RF channel this window: %d (%d collisions)\n", ch, count)
-	}
-	out.Out.Observe("all_piconets_delivered", minInt(tot.PerPiconet) > 0)
-	out.Out.Observe("inter_collisions_seen", tot.Inter > 0)
-	addCoexActivity(net, &out)
-	return s, out
-}
-
-// runAdaptiveScenario runs one piconet under an 802.11-style jammer
-// with adaptive channel classification enabled and reports the learned
-// map against the known jammed band.
-func runAdaptiveScenario(seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
-	var out trialOutcome
-	out.Out = stats.CounterMap{}
-	lo := 30
-	hi := lo + max(p.jamWidth, 1) - 1
-	if hi >= hop.NumChannels {
-		hi = hop.NumChannels - 1
-	}
-	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
-	net := coex.Build(s, coex.Config{
-		Piconets:          1,
-		Slaves:            coexSlaves(p),
-		AFH:               coex.AFHAdaptive,
-		AssessWindowSlots: p.assessWindow,
-	})
-	s.Ch.AddJammer(lo, hi, p.jamDuty)
-	out.Out.Observe("setup_ok", true)
-	logf("piconet up under a %d-channel jammer (channels %d-%d, duty %.0f%%); assessing every %d slots\n",
-		hi-lo+1, lo, hi, p.jamDuty*100, p.assessWindow)
-	net.StartTraffic()
-	warm := coex.ConvergenceSlots(p.assessWindow)
-	s.RunSlots(warm)
-	net.ResetStats()
-	s.RunSlots(p.slots)
-	pic := net.Piconets[0]
-	cm := pic.CurrentMap()
-	excluded := 0
-	if cm != nil {
-		for ch := lo; ch <= hi; ch++ {
-			if !cm.Used(ch) {
-				excluded++
-			}
-		}
-		logf("learned channel map after %d update(s): %d/%d channels in use, %d/%d jammed channels excluded\n",
-			pic.MapUpdates, cm.N(), hop.NumChannels, excluded, hi-lo+1)
-	} else {
-		logf("classifier never narrowed the hop set (%d updates)\n", pic.MapUpdates)
-	}
-	tot := net.Totals()
-	logf("goodput over the %d-slot measurement window: %.1f kbps\n",
-		p.slots, coex.GoodputKbps(tot.Bytes, p.slots))
-	out.Out.Observe("map_installed", cm != nil)
-	out.Out.Observe("jam_band_excluded", cm != nil && excluded >= (hi-lo+1)*8/10)
-	addCoexActivity(net, &out)
-	return s, out
-}
-
-// runScatternetScenario chains -bridges+1 piconets through timesharing
-// bridges and pushes the canonical end-to-end flow (first master to a
-// slave of the last piconet) across them, reporting goodput, bridge
-// store-and-forward statistics and the presence schedule's retunes.
-func runScatternetScenario(seed uint64, p trialParams, trace io.Writer, logf func(string, ...any)) (*core.Simulation, trialOutcome) {
-	var out trialOutcome
-	out.Out = stats.CounterMap{}
-	piconets := p.bridges + 1
-	// A master hosts its slaves plus one bridge (chain ends) or two
-	// (middle masters) within the 7 active members a piconet supports.
-	maxSlaves := 6
-	if piconets > 2 {
-		maxSlaves = 5
-	}
-	slaves := min(coexSlaves(p), maxSlaves)
-	s := core.NewSimulation(core.Options{Seed: seed, BER: p.ber, TraceTo: trace})
-	cfg := scatternet.Config{Piconets: piconets, Slaves: slaves, PresenceDuty: p.presence}
-	net := scatternet.Build(s, cfg)
-	out.Out.Observe("setup_ok", true)
-	logf("built a %d-piconet chain (1 master + %d slave(s) each) joined by %d bridge(s); presence duty %.0f%%, period %d slots\n",
-		piconets, slaves, len(net.Bridges), p.presence*100, 256)
-	net.StartTraffic()
-	flow := net.Flows[0]
-	logf("flow: %s -> %s, store-and-forward through every bridge\n", flow.From, flow.To)
-	s.RunSlots(uint64(3 * 256))
-	net.ResetStats()
-	s.RunSlots(p.slots)
-	tot := net.Totals()
-	logf("delivered %d bytes end-to-end over %d slots (%.1f kbps goodput)\n",
-		tot.DeliveredBytes, p.slots, scatternet.GoodputKbps(tot.DeliveredBytes, p.slots))
-	logf("bridges forwarded %d frame(s), dropped %d; store-and-forward latency %.0f slots mean\n",
-		tot.ForwardedFrames, tot.DroppedFrames, tot.FwdLatencyMeanSlots)
-	logf("bridge queue depth: %.1f mean (time-weighted), %d max; %d membership retunes\n",
-		tot.QueueMeanDepth, tot.QueueMaxDepth, tot.MembershipSwitches)
-	out.Out.Observe("delivered_across_piconets", tot.DeliveredBytes > 0)
-	out.Out.Observe("no_route_misses", tot.RouteMisses == 0)
-	out.Out.Observe("radio_timeshared", tot.MembershipSwitches > 0)
-	for _, b := range net.Bridges {
-		tx, rx := core.Activity(b.Dev)
-		out.Tx.Add(tx)
-		out.Rx.Add(rx)
-	}
-	return s, out
-}
-
-// addCoexActivity folds every slave's RF activity into the outcome.
-func addCoexActivity(net *coex.Net, out *trialOutcome) {
-	for _, pic := range net.Piconets {
-		for _, sl := range pic.Slaves {
-			tx, rx := core.Activity(sl)
-			out.Tx.Add(tx)
-			out.Rx.Add(rx)
-		}
-	}
-}
-
-// worstChannel returns the RF channel with the most collisions between
-// two stats snapshots and its count (-1 if the air stayed clean).
-func worstChannel(before, after channel.Stats) (int, int) {
-	best, worst := 0, -1
-	for ch := range after.PerFreq {
-		delta := after.PerFreq[ch].Collisions - before.PerFreq[ch].Collisions
-		if delta > best {
-			best, worst = delta, ch
-		}
-	}
-	return worst, best
-}
-
-// minInt returns the smallest element (0 for an empty slice).
-func minInt(xs []int) int {
-	if len(xs) == 0 {
-		return 0
-	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
 }

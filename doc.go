@@ -7,15 +7,20 @@
 //
 // The public API lives in internal/core (simulation assembly and
 // scenario helpers), internal/baseband (devices, links, power modes),
-// internal/lmp and internal/hci. internal/coex is the multi-piconet
-// coexistence engine: several piconets on one shared medium, with
-// adaptive channel classification learning AFH maps from per-frequency
-// reception errors. internal/scatternet chains piconets through bridge
-// devices that are slaves in two piconets at once — each bridge
-// timeshares its radio over per-piconet baseband memberships, pins
-// presence windows via the LMP slot-offset/sniff handshake, and relays
-// L2CAP frames store-and-forward between the piconets.
-// internal/runner is the declarative trial engine:
+// internal/lmp and internal/hci. internal/netspec is the declarative
+// topology layer: one Spec value — piconet, bridge, traffic, jammer,
+// power-mode and probe stanzas — compiles into any world the model can
+// express, from a lone piconet to a jammed multi-piconet room to a
+// bridged scatternet with crossing flows, and the built World exposes
+// one unified Metrics surface. It subsumes the engines that grew
+// underneath it: several piconets on one shared medium with adaptive
+// channel classification learning AFH maps from per-frequency
+// reception errors, and scatternet bridges that are slaves in two
+// piconets at once, timesharing one radio over per-piconet baseband
+// memberships (the LMP slot-offset/sniff handshake pins the presence
+// windows) while relaying L2CAP frames store-and-forward.
+// internal/coex and internal/scatternet remain as thin deprecated
+// adapters over netspec. internal/runner is the declarative trial engine:
 // experiment sweeps declare their axes and a per-seed trial function,
 // and the engine fans the replicas out across a worker pool while
 // keeping every table byte-identical to a serial run. See README.md for

@@ -6,42 +6,49 @@
 // slave over LMP. This is the shared-medium scenario of the paper's
 // coexistence references [3-5] with the v1.2 AFH fix learned on the air
 // instead of hand-picked.
+//
+// The whole world is one netspec.Spec: the piconet, traffic and jammer
+// stanzas below are the entire setup, and the unified Metrics surface
+// replaces hand-collected counters.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/coex"
 	"repro/internal/core"
 	"repro/internal/hop"
+	"repro/internal/netspec"
 )
 
 func main() {
-	// One world, one shared channel; everything derives from the seed.
-	sim := core.NewSimulation(core.Options{Seed: 2005})
-
 	// An 802.11 DSSS network occupies 23 channels at 90% duty: any
 	// Bluetooth packet on channels 30-52 is destroyed 9 times out of 10.
 	const jamLo, jamHi, jamDuty = 30, 52, 0.9
-	sim.Ch.AddJammer(jamLo, jamHi, jamDuty)
 
-	// Four piconets, each learning its channel map every 1500 slots.
-	net := coex.Build(sim, coex.Config{
-		Piconets:          4,
-		AFH:               coex.AFHAdaptive,
-		AssessWindowSlots: 1500,
+	// One world, one shared channel; everything derives from the seed.
+	// Four piconets, each learning its channel map every 1500 slots,
+	// each saturated by a bulk ACL pump. The jammer is installed after
+	// construction, so the piconets assemble on a clean medium.
+	sim := core.NewSimulation(core.Options{Seed: 2005})
+	world, err := netspec.Build(sim, netspec.Spec{
+		Piconets: netspec.HomogeneousPiconets(4, 1, netspec.WithAdaptiveAFH(1500), netspec.WithTpoll(netspec.TpollNever)),
+		Traffic:  []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+		Jammers:  []netspec.Jammer{{Lo: jamLo, Hi: jamHi, Duty: jamDuty}},
 	})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("built %d piconets on one medium, jammer on channels %d-%d (duty %.0f%%)\n\n",
-		len(net.Piconets), jamLo, jamHi, jamDuty*100)
+		len(world.Piconets), jamLo, jamHi, jamDuty*100)
 
 	// Saturating master-to-slave traffic plus the classification loops.
-	net.StartTraffic()
+	world.Start()
 
 	// Let every master see two assessment windows and switch maps.
-	warmup := coex.ConvergenceSlots(1500)
+	warmup := netspec.ConvergenceSlots(1500)
 	sim.RunSlots(warmup)
 	fmt.Printf("after %d warm-up slots:\n", warmup)
-	for _, p := range net.Piconets {
+	for _, p := range world.Piconets {
 		cm := p.CurrentMap()
 		if cm == nil {
 			fmt.Printf("  piconet %d: still hopping all %d channels\n", p.Index, hop.NumChannels)
@@ -57,34 +64,30 @@ func main() {
 			p.Index, cm.N(), excluded, jamHi-jamLo+1, p.MapUpdates)
 	}
 
-	// Measure a clean window: goodput per piconet plus the collision
-	// attribution the shared medium produces. Snapshot the channel's
-	// per-frequency counters first, so the window's traffic placement
-	// can be isolated below.
+	// Measure a clean window: ResetMetrics opens it (snapshotting the
+	// per-frequency channel counters), one Metrics read closes the
+	// books — goodput, collision attribution and the per-channel
+	// breakdown all come from the same surface.
 	const measure = 8000
-	net.ResetStats()
-	before := sim.Ch.Stats()
+	world.ResetMetrics()
 	sim.RunSlots(measure)
-	tot := net.Totals()
+	m := world.Metrics()
 	fmt.Printf("\nover a %d-slot measurement window:\n", measure)
-	for i, bytes := range tot.PerPiconet {
-		fmt.Printf("  piconet %d: %.1f kbps goodput\n", i, coex.GoodputKbps(bytes, measure))
+	for i := range world.Piconets {
+		fmt.Printf("  piconet %d: %.1f kbps goodput\n", i, m.PiconetGoodputKbps(i))
 	}
 	fmt.Printf("  collisions: %d inter-piconet, %d intra-piconet; %d retransmissions\n",
-		tot.Inter, tot.Intra, tot.Retransmits)
+		m.Inter, m.Intra, m.Retransmits)
 
-	// The channel keeps a per-frequency breakdown; differencing the
-	// snapshots shows where this window's traffic actually landed. With
-	// the learned maps installed, essentially nothing hops into the
-	// jammed band any more.
-	after := sim.Ch.Stats()
+	// The metrics carry the window's per-frequency delta; with the
+	// learned maps installed, essentially nothing hops into the jammed
+	// band any more.
 	inBand, outBand := 0, 0
-	for ch := range after.PerFreq {
-		delta := after.PerFreq[ch].Transmissions - before.PerFreq[ch].Transmissions
+	for ch, fc := range m.PerFreq {
 		if ch >= jamLo && ch <= jamHi {
-			inBand += delta
+			inBand += fc.Transmissions
 		} else {
-			outBand += delta
+			outBand += fc.Transmissions
 		}
 	}
 	fmt.Printf("  transmissions this window: %d inside the jammed band, %d outside (%.2f%% in-band;\n"+

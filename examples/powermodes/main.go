@@ -1,15 +1,16 @@
 // powermodes compares the RF activity — and with the power profile, the
 // average front-end power — of a slave in ACTIVE, SNIFF, HOLD and PARK
-// modes, the design space of the paper's section 3.2. The mode changes
-// run over the air through the Link Manager Protocol.
+// modes, the design space of the paper's section 3.2. Each arm is one
+// netspec.Spec: the piconet stanza plus a PowerMode stanza, with an
+// activity probe feeding the measurement — LMP-negotiated transitions
+// remain available at run time through the piconet's LMP manager.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/baseband"
 	"repro/internal/core"
-	"repro/internal/lmp"
+	"repro/internal/netspec"
 	"repro/internal/power"
 )
 
@@ -17,43 +18,42 @@ func main() {
 	profile := power.DefaultProfile()
 	fmt.Printf("%-28s %10s %10s %12s\n", "mode", "tx_act", "rx_act", "avg_power_mW")
 
-	measure := func(name string, configure func(master, slave *lmp.Manager, ml *baseband.Link)) {
+	measure := func(name string, modes ...netspec.PowerMode) {
 		sim := core.NewSimulation(core.Options{Seed: 7})
-		mdev := sim.AddDevice("master", baseband.Config{Addr: baseband.BDAddr{LAP: 0x111111, UAP: 1}})
-		sdev := sim.AddDevice("slave", baseband.Config{Addr: baseband.BDAddr{LAP: 0x222222, UAP: 2}})
-		mlm, slm := lmp.Attach(mdev), lmp.Attach(sdev)
-		links := sim.BuildPiconet(mdev, sdev)
-
-		configure(mlm, slm, links[0])
-		// Let the LMP negotiation and a first mode cycle settle.
+		world, err := netspec.Build(sim, netspec.Spec{
+			Piconets: []netspec.Piconet{netspec.NewPiconet(1)},
+			Modes:    modes,
+			Probes: []netspec.Probe{
+				{Name: "slave", Kind: netspec.ProbeSlaveActivity, Piconet: 0},
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Let the mode entry and a first cycle settle, then measure a
+		// clean 12.5-simulated-second window.
 		sim.RunSlots(1500)
-		core.ResetMeters(sdev)
-		sim.RunSlots(20000) // 12.5 simulated seconds
-		tx, rx := core.Activity(sdev)
+		world.ResetMetrics()
+		sim.RunSlots(20000)
+		m := world.Metrics()
+		act := m.Probes["slave"]
+		slave := world.Piconets[0].Slaves[0]
 		fmt.Printf("%-28s %9.3f%% %9.3f%% %12.3f\n",
-			name, tx*100, rx*100, profile.Average(sdev.TxMeter, sdev.RxMeter))
+			name, act.Tx.Mean()*100, act.Rx.Mean()*100,
+			profile.Average(slave.TxMeter, slave.RxMeter))
 	}
 
-	measure("active", func(m, s *lmp.Manager, l *baseband.Link) {})
-	measure("sniff Tsniff=40", func(m, s *lmp.Manager, l *baseband.Link) {
-		m.RequestSniff(l, 40, 2, 0, nil)
-	})
-	measure("sniff Tsniff=100", func(m, s *lmp.Manager, l *baseband.Link) {
-		m.RequestSniff(l, 100, 2, 0, nil)
-	})
-	measure("hold Thold=200 (repeating)", func(m, s *lmp.Manager, l *baseband.Link) {
-		// Repeating hold is driven at baseband level on both ends (the
-		// paper's Fig 12 workload).
-		l.EnterHoldRepeating(200)
-		s.Dev().MasterLink().EnterHoldRepeating(200)
-	})
-	measure("hold Thold=800 (repeating)", func(m, s *lmp.Manager, l *baseband.Link) {
-		l.EnterHoldRepeating(800)
-		s.Dev().MasterLink().EnterHoldRepeating(800)
-	})
-	measure("park beacon=64", func(m, s *lmp.Manager, l *baseband.Link) {
-		m.RequestPark(l, 64, nil)
-	})
+	measure("active")
+	measure("sniff Tsniff=40",
+		netspec.PowerMode{Kind: netspec.SniffMode, TsniffSlots: 40})
+	measure("sniff Tsniff=100",
+		netspec.PowerMode{Kind: netspec.SniffMode, TsniffSlots: 100})
+	measure("hold Thold=200 (repeating)",
+		netspec.PowerMode{Kind: netspec.HoldMode, TholdSlots: 200})
+	measure("hold Thold=800 (repeating)",
+		netspec.PowerMode{Kind: netspec.HoldMode, TholdSlots: 800})
+	measure("park beacon=64",
+		netspec.PowerMode{Kind: netspec.ParkMode, BeaconSlots: 64})
 
 	fmt.Println("\nsniff pays off for long Tsniff, hold for long Thold, and park is")
 	fmt.Println("the cheapest way to stay synchronised — matching the paper's Figs 11-12.")

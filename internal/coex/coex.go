@@ -1,48 +1,47 @@
-// Package coex is the multi-piconet coexistence engine: it stands up N
-// independent piconets — each a master with up to 7 slaves, hopping on
-// its own BD_ADDR-derived sequence — on one shared channel.Channel, so
-// inter-piconet co-channel collisions emerge naturally from the medium's
-// resolver exactly as the paper's shared-medium model (Fig. 2) and its
-// coexistence references [3-5] describe. On top of the orchestration it
-// implements adaptive channel classification, the learning half of the
-// v1.2 AFH story: each master tallies per-frequency reception outcomes
-// (collisions, jam hits, HEC/CRC failures) in connection state,
-// periodically classifies channels good/bad, and installs the surviving
-// set as a hop.ChannelMap over the LMP set-AFH procedure — replacing the
-// oracle hop.ExcludeRange maps the early AFH experiments hand-picked
-// with a map learned from the air.
+// Package coex is the multi-piconet coexistence engine: N independent
+// piconets — each a master with up to 7 slaves, hopping on its own
+// BD_ADDR-derived sequence — on one shared channel.Channel, with
+// inter-piconet collision attribution and adaptive channel
+// classification (the learning half of the v1.2 AFH story).
+//
+// Deprecated: the engine lives in internal/netspec now; this package
+// is a thin adapter kept for one PR so existing callers migrate at
+// their own pace. New code should declare a netspec.Spec — a Config
+// here compiles to exactly that — and use the World.Metrics surface.
 package coex
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/baseband"
-	"repro/internal/channel"
 	"repro/internal/core"
-	"repro/internal/hop"
-	"repro/internal/lmp"
+	"repro/internal/netspec"
 	"repro/internal/packet"
 )
 
 // AFHMode selects how each piconet manages its hop set.
-type AFHMode int
+//
+// Deprecated: use netspec.AFHMode.
+type AFHMode = netspec.AFHMode
 
 // Hop-set management modes.
 const (
 	// AFHOff hops the classic full 79-channel sequence.
-	AFHOff AFHMode = iota
-	// AFHOracle installs ExcludeRange(OracleLo, OracleHi) over LMP right
-	// after the piconets are built — the hand-picked map of the original
-	// coexistence experiments, kept as the upper reference.
-	AFHOracle
-	// AFHAdaptive learns the map: every AssessWindowSlots the master
-	// classifies channels from its per-frequency reception tallies and
-	// installs the good set over LMP when the classification changes.
-	AFHAdaptive
+	AFHOff = netspec.AFHOff
+	// AFHOracle installs ExcludeRange(OracleLo, OracleHi) over LMP.
+	AFHOracle = netspec.AFHOracle
+	// AFHAdaptive learns the map from per-frequency reception tallies.
+	AFHAdaptive = netspec.AFHAdaptive
 )
 
+// Piconet is one master-plus-slaves group inside the shared medium.
+//
+// Deprecated: use netspec.PiconetState.
+type Piconet = netspec.PiconetState
+
 // Config describes the coexistence world to build.
+//
+// Deprecated: declare a netspec.Spec instead; see Config.Spec for the
+// exact translation.
 type Config struct {
 	// Piconets is the number of co-located piconets (default 1).
 	Piconets int
@@ -67,388 +66,99 @@ type Config struct {
 	// BadThreshold is the error fraction at or above which an observed
 	// channel is classified bad (default 0.25).
 	BadThreshold float64
-
-	// TpollSlots is the masters' maximum polling interval. The default
-	// (1<<20, effectively never) suits the saturating pumps of the
-	// coexistence experiments, where the data itself is the poll; the
-	// scatternet layer overrides it so idle links stay supervised by
-	// regular POLLs.
+	// TpollSlots is the masters' maximum polling interval (default
+	// 1<<20, effectively never — the pumped data is the poll).
 	TpollSlots int
 	// ReprobeWindows bounds how long a bad verdict can outlive its
-	// evidence: an excluded channel is never hopped on, so it collects
-	// no observations — after this many consecutive silent windows it is
-	// re-admitted on probation and re-excluded next window if still bad
-	// (default 8). Without this the hop set could only ever shrink.
+	// evidence (default 8).
 	ReprobeWindows int
 }
 
-// normalize fills zero fields with defaults.
-func (c *Config) normalize() {
+// Spec translates the config into the equivalent netspec world: N
+// identical piconet stanzas plus one saturating bulk-traffic stanza
+// covering all of them.
+func (c Config) Spec() netspec.Spec {
 	if c.Piconets == 0 {
 		c.Piconets = 1
 	}
 	if c.Slaves == 0 {
 		c.Slaves = 1
 	}
-	if c.Piconets < 1 || c.Slaves < 1 || c.Slaves > 7 {
+	if c.Piconets < 0 {
 		panic(fmt.Sprintf("coex: invalid topology %d piconets x %d slaves", c.Piconets, c.Slaves))
 	}
-	if c.PacketType == 0 {
-		c.PacketType = packet.TypeDM1
-	}
-	if c.PumpDepth == 0 {
-		c.PumpDepth = 4
-	}
-	if c.AssessWindowSlots == 0 {
-		c.AssessWindowSlots = 2000
-	}
-	if c.MinObservations == 0 {
-		c.MinObservations = 4
-	}
-	if c.BadThreshold == 0 {
-		c.BadThreshold = 0.25
-	}
-	if c.ReprobeWindows == 0 {
-		c.ReprobeWindows = 8
-	}
 	if c.TpollSlots == 0 {
-		c.TpollSlots = 1 << 20
+		// The engine's historical default: the pumped data is the poll.
+		c.TpollSlots = netspec.TpollNever
 	}
-	if c.AssessWindowSlots < 0 || c.MinObservations < 0 || c.ReprobeWindows < 0 ||
-		c.BadThreshold < 0 || c.BadThreshold > 1 {
-		panic(fmt.Sprintf("coex: invalid classifier config %+v", *c))
+	piconets := make([]netspec.Piconet, 0, c.Piconets)
+	for i := 0; i < c.Piconets; i++ {
+		piconets = append(piconets, netspec.Piconet{
+			Slaves:            c.Slaves,
+			TpollSlots:        c.TpollSlots,
+			AFH:               c.AFH,
+			OracleLo:          c.OracleLo,
+			OracleHi:          c.OracleHi,
+			AssessWindowSlots: c.AssessWindowSlots,
+			MinObservations:   c.MinObservations,
+			BadThreshold:      c.BadThreshold,
+			ReprobeWindows:    c.ReprobeWindows,
+		})
 	}
-	if c.AFH == AFHOracle {
-		// An unset band would silently install ExcludeRange(0, 0) — a
-		// 78-channel map indistinguishable from plain hopping — and poison
-		// every learned-vs-oracle comparison built on it.
-		if c.OracleLo == 0 && c.OracleHi == 0 {
-			panic("coex: AFHOracle requires OracleLo/OracleHi")
-		}
-		if c.OracleLo < 0 || c.OracleHi < c.OracleLo || c.OracleHi >= hop.NumChannels {
-			panic(fmt.Sprintf("coex: invalid oracle band %d..%d", c.OracleLo, c.OracleHi))
-		}
+	return netspec.Spec{
+		Piconets: piconets,
+		Traffic: []netspec.Traffic{
+			netspec.BulkTraffic(netspec.AllPiconets,
+				netspec.WithPacketType(c.PacketType),
+				netspec.WithPumpDepth(c.PumpDepth)),
+		},
 	}
 }
 
-// Piconet is one master-plus-slaves group inside the shared medium.
-type Piconet struct {
-	// Index is the piconet's position in Net.Piconets.
-	Index int
-	// Master owns the piconet; its BD_ADDR drives the hop sequence.
-	Master *baseband.Device
-	// Slaves in AM_ADDR order.
-	Slaves []*baseband.Device
-	// Links are the master-side ACL links, one per slave.
-	Links []*baseband.Link
-	// LMP is the master's link manager (slaves carry their own
-	// responders internally).
-	LMP *lmp.Manager
-	// Received counts payload bytes delivered to each slave since the
-	// last ResetStats.
-	Received []int
-	// MapUpdates counts adaptive channel-map installs.
-	MapUpdates int
-
-	slaveLMPs []*lmp.Manager
-	bad       [hop.NumChannels]bool
-	rate      [hop.NumChannels]float64 // last observed error fraction
-	quiet     [hop.NumChannels]int     // consecutive windows bad with no evidence
-	cur       *hop.ChannelMap          // nil = full 79-channel set
-}
-
-// CurrentMap returns the channel map the piconet currently hops on
-// (nil = the full 79-channel set).
-func (p *Piconet) CurrentMap() *hop.ChannelMap { return p.cur }
-
-// Net is a set of co-located piconets sharing one radio medium.
+// Net is a set of co-located piconets sharing one radio medium; it
+// embeds the built netspec.World, whose richer Metrics surface is
+// available alongside the legacy Totals.
+//
+// Deprecated: use netspec.Build / netspec.World.
 type Net struct {
-	// Sim owns the kernel and the shared channel.
-	Sim *core.Simulation
-	// Piconets in build order.
-	Piconets []*Piconet
-
-	cfg   Config
-	owner map[string]int // device name -> piconet index
-
-	// InterCollisions counts collision pairs whose transmitters belong
-	// to different piconets; IntraCollisions counts same-piconet pairs
-	// (TDD makes those rare). Reset by ResetStats.
-	InterCollisions int
-	IntraCollisions int
+	*netspec.World
 }
 
-// Build stands the configured piconets up on s's shared channel: device
-// creation with distinct BD_ADDRs, sequential paging of every slave, and
-// LMP managers on both ends of every link. Traffic and (for AFHAdaptive)
-// the classification loop start with StartTraffic. Build panics if a
-// piconet cannot be assembled, which cannot happen at BER 0 with sane
-// timeouts.
+// Build stands the configured piconets up on s's shared channel.
+// Traffic and (for AFHAdaptive) the classification loop start with
+// StartTraffic. Build panics on an invalid config, as it always did.
+//
+// Deprecated: use netspec.Build.
 func Build(s *core.Simulation, cfg Config) *Net {
-	cfg.normalize()
-	n := &Net{Sim: s, cfg: cfg, owner: make(map[string]int)}
-	s.Ch.SetCollisionHook(n.onCollision)
-	for i := 0; i < cfg.Piconets; i++ {
-		n.Piconets = append(n.Piconets, n.buildPiconet(i))
+	w, err := netspec.Build(s, cfg.Spec())
+	if err != nil {
+		panic("coex: " + err.Error())
 	}
-	if cfg.AFH == AFHOracle {
-		cm := hop.ExcludeRange(cfg.OracleLo, cfg.OracleHi)
-		for _, p := range n.Piconets {
-			n.install(p, cm)
-		}
-	}
-	return n
+	return &Net{World: w}
 }
 
 // New is Build on a fresh world: one simulation, one shared channel.
+//
+// Deprecated: use netspec.Build with core.NewSimulation.
 func New(opt core.Options, cfg Config) *Net {
 	return Build(core.NewSimulation(opt), cfg)
 }
 
-// buildPiconet creates and connects piconet i.
-func (n *Net) buildPiconet(i int) *Piconet {
-	p := &Piconet{Index: i}
-	mname := fmt.Sprintf("p%d.master", i)
-	p.Master = n.Sim.AddDevice(mname, baseband.Config{
-		Addr: baseband.BDAddr{
-			LAP: 0x1A0000 + uint32(i)*0x01357,
-			UAP: uint8(0x10 + i),
-			NAP: uint16(0x0100 + i),
-		},
-		// Default 1<<20: the pumped data is the poll; keep explicit
-		// polls out of the way.
-		TpollSlots: n.cfg.TpollSlots,
-	})
-	n.owner[mname] = i
-	for j := 0; j < n.cfg.Slaves; j++ {
-		sname := fmt.Sprintf("p%d.slave%d", i, j+1)
-		sl := n.Sim.AddDevice(sname, baseband.Config{
-			Addr: baseband.BDAddr{
-				LAP: 0x5B0000 + uint32(i)*0x02000 + uint32(j)*0x00111,
-				UAP: uint8(0x80 + i*8 + j),
-				NAP: uint16(0x0200 + i),
-			},
-			TpollSlots: n.cfg.TpollSlots,
-			// Foreign piconets can collide with the page handshake; scan
-			// continuously so retries land promptly.
-			PageScanWindowSlots:   2048,
-			PageScanIntervalSlots: 2048,
-		})
-		n.owner[sname] = i
-		p.Slaves = append(p.Slaves, sl)
-	}
-	p.Links = n.Sim.BuildPiconet(p.Master, p.Slaves...)
-	p.LMP = lmp.Attach(p.Master)
-	for _, sl := range p.Slaves {
-		p.slaveLMPs = append(p.slaveLMPs, lmp.Attach(sl))
-	}
-	p.Received = make([]int, len(p.Slaves))
-	for j, sl := range p.Slaves {
-		idx := j
-		sl.OnData = func(_ *baseband.Link, payload []byte, _ uint8) {
-			p.Received[idx] += len(payload)
-		}
-	}
-	return p
-}
+// Wrap adapts an already built netspec world to the legacy Net
+// surface.
+func Wrap(w *netspec.World) *Net { return &Net{World: w} }
 
-// AdoptDevice registers an externally created device (a scatternet
-// bridge, a monitoring node) as belonging to piconet index for the
-// collision attribution. A bridge belongs to two piconets at once; by
-// convention the scatternet layer books it under its first membership,
-// so its collision pairs split the same way its presence time does.
-func (n *Net) AdoptDevice(d *baseband.Device, piconet int) {
-	if piconet < 0 || piconet >= len(n.Piconets) {
-		panic(fmt.Sprintf("coex: piconet index %d out of range", piconet))
-	}
-	n.owner[d.Name()] = piconet
-}
+// StartTraffic starts the saturating master-to-slave pump on every
+// link and, in AFHAdaptive mode, the per-piconet classification loops.
+func (n *Net) StartTraffic() { n.World.Start() }
 
-// onCollision attributes one collision pair to inter- or intra-piconet
-// interference by the transmitters' owners.
-func (n *Net) onCollision(existing, incoming *channel.Transmission) {
-	a, aok := n.owner[existing.From]
-	b, bok := n.owner[incoming.From]
-	if !aok || !bok {
-		return
-	}
-	if a == b {
-		n.IntraCollisions++
-	} else {
-		n.InterCollisions++
-	}
-}
-
-// ConvergenceSlots returns a warm-up horizon after which an adaptive
-// net with the given assessment window has classified at least twice
-// and completed the LMP map switch: two windows plus the negotiated AFH
-// instant with slack. Experiments measure after this horizon so every
-// arm (off/oracle/adaptive) sees an identical protocol.
-func ConvergenceSlots(assessWindowSlots int) uint64 {
-	return uint64(2*assessWindowSlots) + 600
-}
-
-// StartTraffic starts a saturating master-to-slave pump on every link
-// (keeping PumpDepth packets queued, refilled every two slots) and, in
-// AFHAdaptive mode, the per-piconet classification loops.
-func (n *Net) StartTraffic() {
-	for _, p := range n.Piconets {
-		for _, l := range p.Links {
-			l.PacketType = n.cfg.PacketType
-			link := l
-			master := p.Master
-			chunk := make([]byte, n.cfg.PacketType.MaxPayload())
-			var pump func()
-			pump = func() {
-				for link.QueueLen() < n.cfg.PumpDepth {
-					link.Send(chunk, packet.LLIDL2CAPStart)
-				}
-				master.After(2, pump)
-			}
-			pump()
-		}
-		if n.cfg.AFH == AFHAdaptive {
-			n.startClassifier(p)
-		}
-	}
-}
-
-// startClassifier arms the periodic channel-assessment loop on p's
-// master.
-func (n *Net) startClassifier(p *Piconet) {
-	p.Master.ResetAssessment()
-	w := uint64(n.cfg.AssessWindowSlots)
-	var tick func()
-	tick = func() {
-		n.classify(p)
-		p.Master.After(w, tick)
-	}
-	p.Master.After(w, tick)
-}
-
-// classify closes one assessment window: channels with enough
-// observations are re-classified by error fraction, bad verdicts that
-// outlived their evidence are re-probed, the good set is padded back up
-// to hop.MinAFHChannels with the least-bad channels if needed, and a
-// changed map is installed over LMP.
-func (n *Net) classify(p *Piconet) {
-	a := p.Master.Assessment()
-	p.Master.ResetAssessment()
-	for ch := 0; ch < hop.NumChannels; ch++ {
-		total := a[ch].OK + a[ch].Bad
-		if total < n.cfg.MinObservations {
-			// Too little evidence to re-classify. An excluded channel is
-			// never hopped on, so its verdict would otherwise be permanent
-			// and the hop set could only shrink: after ReprobeWindows
-			// silent windows re-admit it on probation — if the interferer
-			// is still there the next window re-excludes it.
-			if p.bad[ch] && total == 0 {
-				p.quiet[ch]++
-				if p.quiet[ch] >= n.cfg.ReprobeWindows {
-					p.bad[ch] = false
-					p.quiet[ch] = 0
-				}
-			}
-			continue
-		}
-		rate := float64(a[ch].Bad) / float64(total)
-		p.rate[ch] = rate
-		p.bad[ch] = rate >= n.cfg.BadThreshold
-		p.quiet[ch] = 0
-	}
-	used := make([]int, 0, hop.NumChannels)
-	for ch := 0; ch < hop.NumChannels; ch++ {
-		if !p.bad[ch] {
-			used = append(used, ch)
-		}
-	}
-	if len(used) < hop.MinAFHChannels {
-		used = padToMinimum(used, p)
-	}
-	var cm *hop.ChannelMap
-	if len(used) < hop.NumChannels {
-		cm = hop.NewChannelMap(used)
-	}
-	if sameMap(p.cur, cm) {
-		return
-	}
-	n.install(p, cm)
-}
-
-// padToMinimum re-admits the least-bad excluded channels (ascending
-// error fraction, ties by channel index — deterministic) until the spec
-// minimum is met.
-func padToMinimum(used []int, p *Piconet) []int {
-	type cand struct {
-		ch   int
-		rate float64
-	}
-	var cands []cand
-	for ch := 0; ch < hop.NumChannels; ch++ {
-		if p.bad[ch] {
-			cands = append(cands, cand{ch, p.rate[ch]})
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].rate != cands[j].rate {
-			return cands[i].rate < cands[j].rate
-		}
-		return cands[i].ch < cands[j].ch
-	})
-	for _, c := range cands {
-		if len(used) >= hop.MinAFHChannels {
-			break
-		}
-		used = append(used, c.ch)
-	}
-	return used
-}
-
-// sameMap reports whether two channel maps select the same hop set.
-func sameMap(a, b *hop.ChannelMap) bool {
-	if a == nil || b == nil {
-		return a == b
-	}
-	am, bm := a.Bitmask(), b.Bitmask()
-	for i := range am {
-		if am[i] != bm[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// install pushes cm to every slave over the LMP set-AFH procedure; both
-// ends of each link switch at the negotiated future instant.
-func (n *Net) install(p *Piconet, cm *hop.ChannelMap) {
-	p.cur = cm
-	p.MapUpdates++
-	for _, l := range p.Links {
-		p.LMP.SetAFH(l, cm, nil)
-	}
-}
-
-// ResetStats opens a fresh measurement window: delivered-byte tallies,
-// collision attribution and every device's protocol counters are
-// zeroed, and the RF-activity meters restart. MapUpdates is lifetime
-// and deliberately survives the reset.
-func (n *Net) ResetStats() {
-	n.InterCollisions = 0
-	n.IntraCollisions = 0
-	for _, p := range n.Piconets {
-		for j := range p.Received {
-			p.Received[j] = 0
-		}
-		p.Master.Counters = baseband.Counters{}
-		core.ResetMeters(p.Master)
-		for _, sl := range p.Slaves {
-			sl.Counters = baseband.Counters{}
-			core.ResetMeters(sl)
-		}
-	}
-}
+// ResetStats opens a fresh measurement window (see
+// netspec.World.ResetMetrics).
+func (n *Net) ResetStats() { n.World.ResetMetrics() }
 
 // Totals summarises a measurement window across the whole net.
+//
+// Deprecated: use netspec.World.Metrics.
 type Totals struct {
 	// Bytes is the payload total delivered to every slave.
 	Bytes int
@@ -459,32 +169,32 @@ type Totals struct {
 	// Inter and Intra are the attributed collision-pair counts.
 	Inter, Intra int
 	// MapUpdates sums the adaptive channel-map installs over the net's
-	// whole lifetime — unlike the other fields it is NOT zeroed by
-	// ResetStats, so convergence remains visible across windows.
+	// whole lifetime (not zeroed by ResetStats).
 	MapUpdates int
 }
 
 // Totals reads the current window's counters.
 func (n *Net) Totals() Totals {
-	t := Totals{Inter: n.InterCollisions, Intra: n.IntraCollisions}
-	for _, p := range n.Piconets {
-		sum := 0
-		for _, r := range p.Received {
-			sum += r
-		}
-		t.PerPiconet = append(t.PerPiconet, sum)
-		t.Bytes += sum
-		t.Retransmits += p.Master.Counters.Retransmits
-		t.MapUpdates += p.MapUpdates
+	m := n.World.Metrics()
+	return Totals{
+		Bytes:       m.Bytes,
+		PerPiconet:  m.PerPiconet,
+		Retransmits: m.Retransmits,
+		Inter:       m.Inter,
+		Intra:       m.Intra,
+		MapUpdates:  m.MapUpdates,
 	}
-	return t
+}
+
+// ConvergenceSlots returns a warm-up horizon after which an adaptive
+// net with the given assessment window has classified at least twice
+// and completed the LMP map switch.
+func ConvergenceSlots(assessWindowSlots int) uint64 {
+	return netspec.ConvergenceSlots(assessWindowSlots)
 }
 
 // GoodputKbps converts a delivered-byte count over a slot horizon into
 // kbit/s (one slot = 625 µs).
 func GoodputKbps(bytes int, slots uint64) float64 {
-	if slots == 0 {
-		return 0
-	}
-	return float64(bytes) * 8 / 1000 / (float64(slots) * 625e-6)
+	return netspec.GoodputKbps(bytes, slots)
 }

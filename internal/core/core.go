@@ -97,6 +97,13 @@ func (s *Simulation) Devices() []*baseband.Device {
 	return out
 }
 
+// SplitRand derives an independent deterministic RNG stream from the
+// simulation's root stream (advancing it by one draw). Layers that
+// need their own randomness — e.g. poisson traffic sources — split at
+// a deterministic point instead of sharing the root, so the world
+// stays bit-reproducible.
+func (s *Simulation) SplitRand() *sim.Rand { return s.rng.Split() }
+
 // RunSlots advances the simulation by n slots.
 func (s *Simulation) RunSlots(n uint64) {
 	s.K.RunUntil(s.K.Now() + sim.Time(sim.Slots(n)))

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/coex"
 	"repro/internal/core"
+	"repro/internal/netspec"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -52,19 +52,22 @@ func CoexSweep(counts []int, measureSlots uint64, replicas int, seed uint64) []C
 			return seed + uint64(counts[point])*101 + uint64(replica)*7919
 		},
 		Trial: func(seed uint64, piconets int) coexObs {
-			n := coex.New(core.Options{Seed: seed}, coex.Config{Piconets: piconets})
-			n.StartTraffic()
-			n.Sim.RunSlots(coexTrialSettleSlots)
-			n.ResetStats()
-			n.Sim.RunSlots(measureSlots)
-			tot := n.Totals()
-			return coexObs{Bytes: tot.Bytes, Retransmits: tot.Retransmits, Inter: tot.Inter, Intra: tot.Intra}
+			w := netspec.MustBuild(core.NewSimulation(core.Options{Seed: seed}), netspec.Spec{
+				Piconets: netspec.HomogeneousPiconets(piconets, 1, netspec.WithTpoll(netspec.TpollNever)),
+				Traffic:  []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+			})
+			w.Start()
+			w.Sim.RunSlots(coexTrialSettleSlots)
+			w.ResetMetrics()
+			w.Sim.RunSlots(measureSlots)
+			m := w.Metrics()
+			return coexObs{Bytes: m.Bytes, Retransmits: m.Retransmits, Inter: m.Inter, Intra: m.Intra}
 		},
 	}
 	return runner.ReducePoints(counts, sw.Run(runner.Config{}), func(piconets int, obs []coexObs) CoexRow {
 		row := CoexRow{Piconets: piconets, N: len(obs)}
 		for _, o := range obs {
-			row.PerLinkKbs += coex.GoodputKbps(o.Bytes, measureSlots) / float64(piconets)
+			row.PerLinkKbs += netspec.GoodputKbps(o.Bytes, measureSlots) / float64(piconets)
 			row.Retransmits += float64(o.Retransmits)
 			row.Inter += float64(o.Inter)
 			row.Intra += float64(o.Intra)
@@ -106,29 +109,34 @@ const afhBandLo = 30
 
 // adaptiveArm measures one hop-set strategy under a jammer of the given
 // width. Every arm — off, oracle, adaptive — runs the identical
-// protocol: build jam-free, add the jammer, pump traffic through the
-// same convergence warm-up, then measure a clean steady-state window.
-// Only then are the columns of one row comparable.
-func adaptiveArm(seed uint64, mode coex.AFHMode, width int, duty float64,
+// protocol: build jam-free (netspec installs jammers after topology
+// construction), pump traffic through the same convergence warm-up,
+// then measure a clean steady-state window. Only then are the columns
+// of one row comparable.
+func adaptiveArm(seed uint64, mode netspec.AFHMode, width int, duty float64,
 	assessWindow int, measureSlots uint64) (float64, int) {
 	hi := afhBandLo + width - 1
-	n := coex.New(core.Options{Seed: seed}, coex.Config{
-		Piconets:          1,
-		AFH:               mode,
-		OracleLo:          afhBandLo,
-		OracleHi:          hi,
-		AssessWindowSlots: assessWindow,
+	w := netspec.MustBuild(core.NewSimulation(core.Options{Seed: seed}), netspec.Spec{
+		Piconets: []netspec.Piconet{{
+			Slaves:            1,
+			TpollSlots:        netspec.TpollNever,
+			AFH:               mode,
+			OracleLo:          afhBandLo,
+			OracleHi:          hi,
+			AssessWindowSlots: assessWindow,
+		}},
+		Traffic: []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+		Jammers: []netspec.Jammer{{Lo: afhBandLo, Hi: hi, Duty: duty}},
 	})
-	n.Sim.Ch.AddJammer(afhBandLo, hi, duty)
-	n.StartTraffic()
-	n.Sim.RunSlots(coex.ConvergenceSlots(assessWindow))
-	n.ResetStats()
-	n.Sim.RunSlots(measureSlots)
+	w.Start()
+	w.Sim.RunSlots(netspec.ConvergenceSlots(assessWindow))
+	w.ResetMetrics()
+	w.Sim.RunSlots(measureSlots)
 	mapN := 79
-	if cm := n.Piconets[0].CurrentMap(); cm != nil {
+	if cm := w.Piconets[0].CurrentMap(); cm != nil {
 		mapN = cm.N()
 	}
-	return coex.GoodputKbps(n.Totals().Bytes, measureSlots), mapN
+	return netspec.GoodputKbps(w.Metrics().Bytes, measureSlots), mapN
 }
 
 // AdaptiveAFH sweeps the jammer width, measuring goodput for classic
@@ -140,9 +148,9 @@ func AdaptiveAFH(widths []int, duty float64, assessWindow int, measureSlots uint
 		Points: widths,
 		Seed:   func(point, _ int) uint64 { return seed + uint64(widths[point])*977 },
 		Trial: func(seed uint64, width int) AdaptiveAFHRow {
-			plain, _ := adaptiveArm(seed, coex.AFHOff, width, duty, assessWindow, measureSlots)
-			oracle, _ := adaptiveArm(seed, coex.AFHOracle, width, duty, assessWindow, measureSlots)
-			learned, n := adaptiveArm(seed, coex.AFHAdaptive, width, duty, assessWindow, measureSlots)
+			plain, _ := adaptiveArm(seed, netspec.AFHOff, width, duty, assessWindow, measureSlots)
+			oracle, _ := adaptiveArm(seed, netspec.AFHOracle, width, duty, assessWindow, measureSlots)
+			learned, n := adaptiveArm(seed, netspec.AFHAdaptive, width, duty, assessWindow, measureSlots)
 			return AdaptiveAFHRow{
 				Width: width, PlainKbs: plain, OracleKbs: oracle, LearnedKbs: learned, LearnedN: n,
 			}

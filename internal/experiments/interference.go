@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/baseband"
-	"repro/internal/coex"
 	"repro/internal/core"
+	"repro/internal/netspec"
 	"repro/internal/packet"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -47,15 +47,15 @@ func Coexistence(duties []float64, measureSlots uint64, seed uint64) []Coexisten
 		Points: duties,
 		Seed:   func(point, _ int) uint64 { return seed + uint64(duties[point]*1000) },
 		Trial: func(seed uint64, duty float64) CoexistenceRow {
-			arm := func(mode coex.AFHMode) float64 {
+			arm := func(mode netspec.AFHMode) float64 {
 				kbs, _ := adaptiveArm(seed, mode, width, duty, coexAssessWindowSlots, measureSlots)
 				return kbs
 			}
 			return CoexistenceRow{
 				JammerDuty: duty,
-				PlainKbs:   arm(coex.AFHOff),
-				AFHKbs:     arm(coex.AFHOracle),
-				LearnedKbs: arm(coex.AFHAdaptive),
+				PlainKbs:   arm(netspec.AFHOff),
+				AFHKbs:     arm(netspec.AFHOracle),
+				LearnedKbs: arm(netspec.AFHAdaptive),
 			}
 		},
 	}
@@ -134,7 +134,7 @@ func MultiPiconet(counts []int, measureSlots uint64, seed uint64) []Interference
 			}
 			return InterferenceRow{
 				Piconets:   n,
-				PerLinkKbs: coex.GoodputKbps(total, measureSlots) / float64(n),
+				PerLinkKbs: netspec.GoodputKbps(total, measureSlots) / float64(n),
 				Collisions: s.Ch.Stats().Collisions,
 			}
 		},

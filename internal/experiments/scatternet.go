@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/netspec"
 	"repro/internal/runner"
-	"repro/internal/scatternet"
 	"repro/internal/stats"
 )
 
@@ -63,30 +63,33 @@ func ScatternetSweep(duties []float64, measureSlots uint64, replicas int, seed u
 			return seed + uint64(point)*131 + uint64(replica)*7919
 		},
 		Trial: func(seed uint64, duty float64) scatObs {
-			n := scatternet.New(core.Options{Seed: seed}, scatternet.Config{
-				Piconets:     2,
-				PresenceDuty: duty,
+			w := netspec.MustBuild(core.NewSimulation(core.Options{Seed: seed}), netspec.Spec{
+				Piconets: netspec.HomogeneousPiconets(2, 1),
+				Bridges:  netspec.ChainBridges(2, netspec.WithPresence(duty)),
+				Traffic: []netspec.Traffic{
+					netspec.FlowTraffic(netspec.MasterName(0), netspec.SlaveName(1, 1)),
+				},
 			})
-			n.StartTraffic()
-			n.Sim.RunSlots(uint64(scatSettlePeriods * 256))
-			n.ResetStats()
-			n.Sim.RunSlots(measureSlots)
-			tot := n.Totals()
+			w.Start()
+			w.Sim.RunSlots(uint64(scatSettlePeriods * 256))
+			w.ResetMetrics()
+			w.Sim.RunSlots(measureSlots)
+			m := w.Metrics()
 			return scatObs{
-				Bytes:     tot.DeliveredBytes,
-				FwdLatMs:  tot.FwdLatencyMeanSlots * msPerSlot,
-				E2ELatMs:  tot.E2ELatencyMeanSlots * msPerSlot,
-				QueueMean: tot.QueueMeanDepth,
-				QueueMax:  tot.QueueMaxDepth,
-				Forwarded: tot.ForwardedFrames,
-				Dropped:   tot.DroppedFrames,
+				Bytes:     m.EndToEndBytes,
+				FwdLatMs:  m.FwdLatency.Mean() * msPerSlot,
+				E2ELatMs:  m.E2ELatency.Mean() * msPerSlot,
+				QueueMean: m.Queue.Mean,
+				QueueMax:  m.Queue.Max,
+				Forwarded: m.ForwardedFrames,
+				Dropped:   m.DroppedFrames,
 			}
 		},
 	}
 	return runner.ReducePoints(duties, sw.Run(runner.Config{}), func(duty float64, obs []scatObs) ScatternetRow {
 		row := ScatternetRow{Duty: duty, N: len(obs)}
 		for _, o := range obs {
-			row.GoodputKbps += scatternet.GoodputKbps(o.Bytes, measureSlots)
+			row.GoodputKbps += netspec.GoodputKbps(o.Bytes, measureSlots)
 			row.FwdLatencyMs += o.FwdLatMs
 			row.E2ELatencyMs += o.E2ELatMs
 			row.QueueMean += o.QueueMean

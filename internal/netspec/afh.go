@@ -1,0 +1,129 @@
+package netspec
+
+import (
+	"sort"
+
+	"repro/internal/hop"
+)
+
+// This file is the adaptive channel classification engine — the
+// learning half of the v1.2 AFH story. Each adaptive master tallies
+// per-frequency reception outcomes (collisions, jam hits, HEC/CRC
+// failures) in connection state, periodically classifies channels
+// good/bad, and installs the surviving set as a hop.ChannelMap over
+// the LMP set-AFH procedure.
+
+// startClassifier arms the periodic channel-assessment loop on p's
+// master.
+func (w *World) startClassifier(p *PiconetState) {
+	p.Master.ResetAssessment()
+	win := uint64(p.spec.AssessWindowSlots)
+	var tick func()
+	tick = func() {
+		w.classify(p)
+		p.Master.After(win, tick)
+	}
+	p.Master.After(win, tick)
+}
+
+// classify closes one assessment window: channels with enough
+// observations are re-classified by error fraction, bad verdicts that
+// outlived their evidence are re-probed, the good set is padded back up
+// to hop.MinAFHChannels with the least-bad channels if needed, and a
+// changed map is installed over LMP.
+func (w *World) classify(p *PiconetState) {
+	a := p.Master.Assessment()
+	p.Master.ResetAssessment()
+	for ch := 0; ch < hop.NumChannels; ch++ {
+		total := a[ch].OK + a[ch].Bad
+		if total < p.spec.MinObservations {
+			// Too little evidence to re-classify. An excluded channel is
+			// never hopped on, so its verdict would otherwise be permanent
+			// and the hop set could only shrink: after ReprobeWindows
+			// silent windows re-admit it on probation — if the interferer
+			// is still there the next window re-excludes it.
+			if p.bad[ch] && total == 0 {
+				p.quiet[ch]++
+				if p.quiet[ch] >= p.spec.ReprobeWindows {
+					p.bad[ch] = false
+					p.quiet[ch] = 0
+				}
+			}
+			continue
+		}
+		rate := float64(a[ch].Bad) / float64(total)
+		p.rate[ch] = rate
+		p.bad[ch] = rate >= p.spec.BadThreshold
+		p.quiet[ch] = 0
+	}
+	used := make([]int, 0, hop.NumChannels)
+	for ch := 0; ch < hop.NumChannels; ch++ {
+		if !p.bad[ch] {
+			used = append(used, ch)
+		}
+	}
+	if len(used) < hop.MinAFHChannels {
+		used = padToMinimum(used, p)
+	}
+	var cm *hop.ChannelMap
+	if len(used) < hop.NumChannels {
+		cm = hop.NewChannelMap(used)
+	}
+	if sameMap(p.cur, cm) {
+		return
+	}
+	w.install(p, cm)
+}
+
+// padToMinimum re-admits the least-bad excluded channels (ascending
+// error fraction, ties by channel index — deterministic) until the spec
+// minimum is met.
+func padToMinimum(used []int, p *PiconetState) []int {
+	type cand struct {
+		ch   int
+		rate float64
+	}
+	var cands []cand
+	for ch := 0; ch < hop.NumChannels; ch++ {
+		if p.bad[ch] {
+			cands = append(cands, cand{ch, p.rate[ch]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rate != cands[j].rate {
+			return cands[i].rate < cands[j].rate
+		}
+		return cands[i].ch < cands[j].ch
+	})
+	for _, c := range cands {
+		if len(used) >= hop.MinAFHChannels {
+			break
+		}
+		used = append(used, c.ch)
+	}
+	return used
+}
+
+// sameMap reports whether two channel maps select the same hop set.
+func sameMap(a, b *hop.ChannelMap) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	am, bm := a.Bitmask(), b.Bitmask()
+	for i := range am {
+		if am[i] != bm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// install pushes cm to every slave over the LMP set-AFH procedure; both
+// ends of each link switch at the negotiated future instant.
+func (w *World) install(p *PiconetState, cm *hop.ChannelMap) {
+	p.cur = cm
+	p.MapUpdates++
+	for _, l := range p.Links {
+		p.LMP.SetAFH(l, cm, nil)
+	}
+}

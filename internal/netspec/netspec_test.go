@@ -1,0 +1,405 @@
+package netspec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/baseband"
+	"repro/internal/core"
+	"repro/internal/hci"
+	"repro/internal/packet"
+)
+
+// world builds a spec on a fresh simulation, failing the test on a
+// validation error.
+func world(t *testing.T, seed uint64, spec Spec) *World {
+	t.Helper()
+	w, err := Build(core.NewSimulation(core.Options{Seed: seed}), spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return w
+}
+
+// TestValidationNamesOffendingStanza pins the validation contract:
+// every malformed stanza comes back as a *StanzaError naming the
+// stanza kind and index, with a message that says what is wrong.
+func TestValidationNamesOffendingStanza(t *testing.T) {
+	onePiconet := []Piconet{NewPiconet(1)}
+	cases := []struct {
+		name    string
+		spec    Spec
+		stanza  string
+		index   int
+		message string
+	}{
+		{"zero slaves", Spec{Piconets: []Piconet{{}}}, "piconet", 0, "at least 1 slave"},
+		{"eight slaves", Spec{Piconets: []Piconet{NewPiconet(8)}}, "piconet", 0, "7 active members"},
+		{"oracle band unset", Spec{Piconets: []Piconet{NewPiconet(1, WithOracleAFH(0, 0))}},
+			"piconet", 0, "OracleLo/OracleHi"},
+		{"bridge unknown piconet", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 5)},
+		}, "bridge", 0, "unknown piconet 5"},
+		{"bridge self loop", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(1, 1)},
+		}, "bridge", 0, "itself"},
+		{"bridge over capacity", Spec{
+			Piconets: []Piconet{NewPiconet(7), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 1)},
+		}, "piconet", 0, "7 active members"},
+		{"bridge to detached", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1, Detached())},
+			Bridges:  []Bridge{NewBridge(0, 1)},
+		}, "bridge", 0, "detached"},
+		{"overlapping SCO", Spec{
+			Piconets: onePiconet,
+			Traffic: []Traffic{
+				VoiceTraffic(0, packet.TypeHV3),
+				VoiceTraffic(0, packet.TypeHV3, WithTsco(6, 3)), // offset 3 ≡ 0 mod 3
+			},
+		}, "traffic", 1, "overlaps traffic[0]"},
+		{"duplicate ACL pump", Spec{
+			Piconets: []Piconet{NewPiconet(2)},
+			Traffic: []Traffic{
+				BulkTraffic(0, WithSlave(2)),
+				PoissonTraffic(0), // covers slave 2 again
+			},
+		}, "traffic", 1, "already carries ACL traffic[0]"},
+		{"voice with ACL type", Spec{
+			Piconets: onePiconet,
+			Traffic:  []Traffic{VoiceTraffic(0, packet.TypeDM1)},
+		}, "traffic", 0, "not a voice packet type"},
+		{"bulk in bridged world", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 1)},
+			Traffic:  []Traffic{BulkTraffic(AllPiconets)},
+		}, "traffic", 0, "cannot share a world with bridges"},
+		{"flow without bridges", Spec{
+			Piconets: onePiconet,
+			Traffic:  []Traffic{FlowTraffic(MasterName(0), SlaveName(0, 1))},
+		}, "traffic", 0, "at least one bridge"},
+		{"flow unknown endpoint", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 1)},
+			Traffic:  []Traffic{FlowTraffic(MasterName(0), "nobody")},
+		}, "traffic", 0, "not a device"},
+		{"flow from bridge", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 1)},
+			Traffic:  []Traffic{FlowTraffic(BridgeName(0), SlaveName(0, 1))},
+		}, "traffic", 0, "neither originate nor terminate"},
+		{"flow into bridge", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 1)},
+			Traffic:  []Traffic{FlowTraffic(MasterName(0), BridgeName(0))},
+		}, "traffic", 0, "neither originate nor terminate"},
+		{"traffic unknown piconet", Spec{
+			Piconets: onePiconet,
+			Traffic:  []Traffic{BulkTraffic(3)},
+		}, "traffic", 0, "unknown piconet 3"},
+		{"jammer band", Spec{
+			Piconets: onePiconet,
+			Jammers:  []Jammer{{Lo: 70, Hi: 90, Duty: 0.5}},
+		}, "jammer", 0, "outside"},
+		{"jammer duty", Spec{
+			Piconets: onePiconet,
+			Jammers:  []Jammer{{Lo: 0, Hi: 10, Duty: 1.5}},
+		}, "jammer", 0, "duty"},
+		{"power unknown slave", Spec{
+			Piconets: onePiconet,
+			Modes:    []PowerMode{{Kind: SniffMode, Slave: 4}},
+		}, "power", 0, "slave 4"},
+		{"power missing kind", Spec{
+			Piconets: onePiconet,
+			Modes:    []PowerMode{{}},
+		}, "power", 0, "unknown mode kind"},
+		{"probe duplicate name", Spec{
+			Piconets: onePiconet,
+			Probes: []Probe{
+				{Name: "x", Kind: ProbeSlaveActivity, Piconet: AllPiconets},
+				{Name: "x", Kind: ProbeMasterActivity, Piconet: AllPiconets},
+			},
+		}, "probe", 1, "duplicate"},
+		{"bridge probe unbridged", Spec{
+			Piconets: onePiconet,
+			Probes:   []Probe{{Kind: ProbeBridgeActivity}},
+		}, "probe", 0, "without bridges"},
+		{"bad presence duty", Spec{
+			Piconets: []Piconet{NewPiconet(1), NewPiconet(1)},
+			Bridges:  []Bridge{NewBridge(0, 1, WithPresence(1.4))},
+		}, "bridge", 0, "duty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatal("invalid spec validated clean")
+			}
+			var se *StanzaError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is not a *StanzaError: %v", err)
+			}
+			if se.Stanza != tc.stanza || se.Index != tc.index {
+				t.Fatalf("blamed %s[%d], want %s[%d]: %v", se.Stanza, se.Index, tc.stanza, tc.index, err)
+			}
+			if !strings.Contains(err.Error(), tc.message) {
+				t.Fatalf("message %q does not mention %q", err.Error(), tc.message)
+			}
+			// Build must refuse the same spec without touching the world.
+			if _, berr := Build(core.NewSimulation(core.Options{Seed: 1}), tc.spec); berr == nil {
+				t.Fatal("Build accepted a spec Validate rejected")
+			}
+		})
+	}
+}
+
+func TestValidSpecsValidate(t *testing.T) {
+	specs := []Spec{
+		{Piconets: []Piconet{NewPiconet(7)}},
+		{
+			Piconets: HomogeneousPiconets(3, 2),
+			Traffic: []Traffic{
+				VoiceTraffic(0, packet.TypeHV3),
+				VoiceTraffic(0, packet.TypeHV1, WithTsco(6, 2), WithSlave(2)),
+				BulkTraffic(1),
+				PoissonTraffic(2),
+			},
+			Jammers: []Jammer{{Lo: 30, Hi: 52, Duty: 0.9}},
+			Modes:   []PowerMode{{Kind: SniffMode, Piconet: 1, TsniffSlots: 64}},
+			Probes:  []Probe{{Kind: ProbeSlaveActivity, Piconet: AllPiconets}},
+		},
+		{
+			Piconets: HomogeneousPiconets(3, 5, WithTpoll(64)),
+			Bridges:  ChainBridges(3),
+			Traffic: []Traffic{
+				FlowTraffic(MasterName(0), SlaveName(2, 1)),
+				FlowTraffic(MasterName(2), SlaveName(0, 1)),
+			},
+		},
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("spec %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestTpollDefaultIsBridgeAware pins the conditional default: bridged
+// worlds poll every 64 slots so idle links stay supervised, bridge-free
+// worlds effectively never (the pumped data is the poll).
+func TestTpollDefaultIsBridgeAware(t *testing.T) {
+	plain := Spec{Piconets: HomogeneousPiconets(2, 1)}.withDefaults()
+	if got := plain.Piconets[0].TpollSlots; got != 0 {
+		t.Fatalf("bridge-free Tpoll resolved to %d, want 0 (baseband default)", got)
+	}
+	bridged := Spec{
+		Piconets: HomogeneousPiconets(2, 1),
+		Bridges:  ChainBridges(2),
+	}.withDefaults()
+	if got := bridged.Piconets[0].TpollSlots; got != 64 {
+		t.Fatalf("bridged Tpoll default %d, want 64", got)
+	}
+	explicit := Spec{
+		Piconets: HomogeneousPiconets(2, 1, WithTpoll(128)),
+		Bridges:  ChainBridges(2),
+	}.withDefaults()
+	if got := explicit.Piconets[0].TpollSlots; got != 128 {
+		t.Fatalf("explicit Tpoll overridden to %d", got)
+	}
+}
+
+// TestMixedVoiceAndBulkWorld drives the new heterogeneous shape: one
+// voice piconet and one bulk piconet sharing the medium, read through
+// the unified metrics surface.
+func TestMixedVoiceAndBulkWorld(t *testing.T) {
+	w := world(t, 11, Spec{
+		Piconets: []Piconet{NewPiconet(2), NewPiconet(1)},
+		Traffic: []Traffic{
+			VoiceTraffic(0, packet.TypeHV3),
+			BulkTraffic(1),
+		},
+	})
+	w.Start()
+	w.Sim.RunSlots(64)
+	w.ResetMetrics()
+	w.Sim.RunSlots(4000)
+	m := w.Metrics()
+	if len(m.Voice) != 2 {
+		t.Fatalf("want 2 voice streams, got %d", len(m.Voice))
+	}
+	for _, v := range m.Voice {
+		if v.TxFrames == 0 || v.RxFrames == 0 {
+			t.Fatalf("voice stream silent: %+v", v)
+		}
+		if v.BitPerfect > v.RxFrames {
+			t.Fatalf("bit-perfect exceeds delivered: %+v", v)
+		}
+	}
+	if m.PerPiconet[1] == 0 {
+		t.Fatal("bulk piconet delivered nothing")
+	}
+	if m.PerPiconet[0] != 0 {
+		t.Fatalf("voice piconet counted ACL bytes: %d", m.PerPiconet[0])
+	}
+	if m.Slots != 4000 {
+		t.Fatalf("window slots %d, want 4000", m.Slots)
+	}
+	if m.GoodputKbps() <= 0 {
+		t.Fatal("no goodput")
+	}
+	tx := 0
+	for _, fc := range m.PerFreq {
+		tx += fc.Transmissions
+	}
+	if tx == 0 {
+		t.Fatal("per-frequency window empty")
+	}
+}
+
+// TestPoissonTrafficDeterministic pins the poisson source: bursts
+// arrive, and the same seed reproduces the same delivered-byte count.
+func TestPoissonTrafficDeterministic(t *testing.T) {
+	run := func() int {
+		w := world(t, 23, Spec{
+			Piconets: []Piconet{NewPiconet(1)},
+			Traffic:  []Traffic{PoissonTraffic(0, WithMeanGap(40), WithBurstBytes(64))},
+		})
+		w.Start()
+		w.ResetMetrics()
+		w.Sim.RunSlots(6000)
+		return w.Metrics().Bytes
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("poisson source delivered nothing")
+	}
+	if a != b {
+		t.Fatalf("identical seeds diverged: %d vs %d bytes", a, b)
+	}
+}
+
+// TestDetachedPiconetBuildsUnconnected checks the Detached stanza:
+// devices exist, nothing is paged.
+func TestDetachedPiconetBuildsUnconnected(t *testing.T) {
+	w := world(t, 3, Spec{
+		Piconets: []Piconet{NewPiconet(2, Detached())},
+	})
+	p := w.Piconets[0]
+	if p.Master == nil || len(p.Slaves) != 2 {
+		t.Fatalf("devices missing: %+v", p)
+	}
+	if len(p.Links) != 0 || p.LMP != nil {
+		t.Fatal("detached piconet was connected")
+	}
+	if w.Sim.Now() != 0 {
+		t.Fatalf("detached build advanced time to slot %d", w.Sim.Now())
+	}
+}
+
+// TestHCIRoundTrip drives a spec-built HCI world through the host
+// command path: inquiry discovers the slave, CreateConnection pages
+// it, SendData arrives as a DataEvent on the far controller.
+func TestHCIRoundTrip(t *testing.T) {
+	w := world(t, 9, Spec{
+		Piconets: []Piconet{NewPiconet(1, WithHCI())},
+	})
+	mc := w.Controller(MasterName(0))
+	sc := w.Controller(SlaveName(0, 1))
+	if mc == nil || sc == nil {
+		t.Fatal("controllers missing on HCI piconet")
+	}
+
+	var found *baseband.InquiryResult
+	var handle hci.ConnHandle
+	connected := false
+	mc.Events = func(e hci.Event) {
+		switch ev := e.(type) {
+		case hci.InquiryResultEvent:
+			r := ev.Result
+			found = &r
+		case hci.ConnectionCompleteEvent:
+			if !ev.OK {
+				t.Fatal("connection failed")
+			}
+			handle = ev.Handle
+			connected = true
+		}
+	}
+	var got []byte
+	sc.Events = func(e hci.Event) {
+		if d, ok := e.(hci.DataEvent); ok {
+			got = append([]byte(nil), d.Payload...)
+		}
+	}
+
+	sc.WriteScanEnable(true, false) // inquiry scan
+	mc.Inquiry(2048, 1)
+	w.Sim.RunSlots(2500)
+	if found == nil {
+		t.Fatal("inquiry found nothing")
+	}
+
+	sc.WriteScanEnable(false, true) // page scan
+	if err := mc.CreateConnection(found.Addr, 2048); err != nil {
+		t.Fatalf("CreateConnection: %v", err)
+	}
+	for i := 0; i < 64 && !connected; i++ {
+		w.Sim.RunSlots(64)
+	}
+	if !connected {
+		t.Fatal("page never completed")
+	}
+
+	if err := mc.SendData(handle, []byte("netspec ping")); err != nil {
+		t.Fatalf("SendData: %v", err)
+	}
+	for i := 0; i < 64 && got == nil; i++ {
+		w.Sim.RunSlots(16)
+	}
+	if string(got) != "netspec ping" {
+		t.Fatalf("round trip delivered %q", got)
+	}
+}
+
+// TestPowerModesLowerActivity checks that the PowerMode stanzas bite:
+// a sniffing slave burns measurably less RX than an active one.
+func TestPowerModesLowerActivity(t *testing.T) {
+	measure := func(modes ...PowerMode) float64 {
+		w := world(t, 13, Spec{
+			Piconets: []Piconet{NewPiconet(1)},
+			Modes:    modes,
+			Probes:   []Probe{{Name: "s", Kind: ProbeSlaveActivity, Piconet: 0}},
+		})
+		w.Sim.RunSlots(1000)
+		w.ResetMetrics()
+		w.Sim.RunSlots(10000)
+		rx := w.Metrics().Probes["s"].Rx
+		return rx.Mean()
+	}
+	active := measure()
+	sniff := measure(PowerMode{Kind: SniffMode, TsniffSlots: 200})
+	if active <= 0 {
+		t.Fatal("active slave shows no RX activity")
+	}
+	if sniff >= active/2 {
+		t.Fatalf("sniff did not save energy: active %.5f, sniff %.5f", active, sniff)
+	}
+}
+
+// TestStartTwicePanics pins the one-shot Start contract.
+func TestStartTwicePanics(t *testing.T) {
+	w := world(t, 1, Spec{
+		Piconets: []Piconet{NewPiconet(1)},
+		Traffic:  []Traffic{BulkTraffic(0)},
+	})
+	w.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start must panic")
+		}
+	}()
+	w.Start()
+}

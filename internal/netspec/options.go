@@ -1,0 +1,187 @@
+package netspec
+
+import "repro/internal/packet"
+
+// This file holds the functional-option constructors: sugar over the
+// stanza literals for the common shapes. Options mutate the stanza
+// before defaulting, so an unset field still takes its documented
+// default — a raw literal and the equivalent constructor build the
+// same world.
+
+// PiconetOption mutates a Piconet stanza.
+type PiconetOption func(*Piconet)
+
+// NewPiconet builds one piconet stanza with the given slave count.
+func NewPiconet(slaves int, opts ...PiconetOption) Piconet {
+	p := Piconet{Slaves: slaves}
+	for _, o := range opts {
+		o(&p)
+	}
+	return p
+}
+
+// HomogeneousPiconets builds n identical piconet stanzas.
+func HomogeneousPiconets(n, slaves int, opts ...PiconetOption) []Piconet {
+	out := make([]Piconet, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, NewPiconet(slaves, opts...))
+	}
+	return out
+}
+
+// WithName sets the piconet's device-name prefix.
+func WithName(name string) PiconetOption {
+	return func(p *Piconet) { p.Name = name }
+}
+
+// WithTpoll sets the master's maximum polling interval.
+func WithTpoll(slots int) PiconetOption {
+	return func(p *Piconet) { p.TpollSlots = slots }
+}
+
+// WithAdaptiveAFH enables adaptive channel classification with the
+// given assessment window.
+func WithAdaptiveAFH(assessWindowSlots int) PiconetOption {
+	return func(p *Piconet) {
+		p.AFH = AFHAdaptive
+		p.AssessWindowSlots = assessWindowSlots
+	}
+}
+
+// WithOracleAFH installs the hand-picked map excluding lo..hi.
+func WithOracleAFH(lo, hi int) PiconetOption {
+	return func(p *Piconet) {
+		p.AFH = AFHOracle
+		p.OracleLo, p.OracleHi = lo, hi
+	}
+}
+
+// Detached builds the piconet's devices without connecting them.
+func Detached() PiconetOption {
+	return func(p *Piconet) { p.Detached = true }
+}
+
+// WithR1PageScan keeps the slaves' standard R1 page-scan discipline
+// instead of the continuous scanning multi-piconet worlds default to.
+func WithR1PageScan() PiconetOption {
+	return func(p *Piconet) { p.R1PageScan = true }
+}
+
+// WithHCI attaches an HCI controller to every device (implies
+// Detached; the host drives connection establishment).
+func WithHCI() PiconetOption {
+	return func(p *Piconet) { p.HCI = true }
+}
+
+// BridgeOption mutates a Bridge stanza.
+type BridgeOption func(*Bridge)
+
+// NewBridge joins piconets a and b.
+func NewBridge(a, b int, opts ...BridgeOption) Bridge {
+	br := Bridge{A: a, B: b}
+	for _, o := range opts {
+		o(&br)
+	}
+	return br
+}
+
+// ChainBridges joins piconets 0..piconets-1 into a chain: bridge i
+// joins piconets i and i+1.
+func ChainBridges(piconets int, opts ...BridgeOption) []Bridge {
+	out := make([]Bridge, 0, piconets-1)
+	for i := 0; i < piconets-1; i++ {
+		out = append(out, NewBridge(i, i+1, opts...))
+	}
+	return out
+}
+
+// WithPresence sets the bridge's presence duty cycle.
+func WithPresence(duty float64) BridgeOption {
+	return func(b *Bridge) { b.PresenceDuty = duty }
+}
+
+// WithPresencePeriod sets the timesharing period in slots.
+func WithPresencePeriod(slots int) BridgeOption {
+	return func(b *Bridge) { b.PresencePeriodSlots = slots }
+}
+
+// WithQueueBound sets the store-and-forward backlog bound.
+func WithQueueBound(frames int) BridgeOption {
+	return func(b *Bridge) { b.MaxQueueFrames = frames }
+}
+
+// TrafficOption mutates a Traffic stanza.
+type TrafficOption func(*Traffic)
+
+// BulkTraffic keeps a saturating ACL pump on every link of the
+// piconet (AllPiconets = every piconet).
+func BulkTraffic(piconet int, opts ...TrafficOption) Traffic {
+	t := Traffic{Kind: TrafficBulk, Piconet: piconet}
+	for _, o := range opts {
+		o(&t)
+	}
+	return t
+}
+
+// VoiceTraffic reserves an SCO voice stream to the targeted slaves.
+func VoiceTraffic(piconet int, ty packet.Type, opts ...TrafficOption) Traffic {
+	t := Traffic{Kind: TrafficVoice, Piconet: piconet, PacketType: ty}
+	for _, o := range opts {
+		o(&t)
+	}
+	return t
+}
+
+// PoissonTraffic sends exponentially spaced ACL bursts on every link
+// of the piconet.
+func PoissonTraffic(piconet int, opts ...TrafficOption) Traffic {
+	t := Traffic{Kind: TrafficPoisson, Piconet: piconet}
+	for _, o := range opts {
+		o(&t)
+	}
+	return t
+}
+
+// FlowTraffic streams SDUs end to end across the scatternet relay.
+func FlowTraffic(from, to string, opts ...TrafficOption) Traffic {
+	t := Traffic{Kind: TrafficFlow, From: from, To: to}
+	for _, o := range opts {
+		o(&t)
+	}
+	return t
+}
+
+// WithPacketType sets the ACL carrier (bulk/poisson) or voice type.
+func WithPacketType(ty packet.Type) TrafficOption {
+	return func(t *Traffic) { t.PacketType = ty }
+}
+
+// WithPumpDepth sets the transmit-queue depth the pump maintains.
+func WithPumpDepth(depth int) TrafficOption {
+	return func(t *Traffic) { t.PumpDepth = depth }
+}
+
+// WithSlave narrows the stanza to one slave (1-based).
+func WithSlave(slave int) TrafficOption {
+	return func(t *Traffic) { t.Slave = slave }
+}
+
+// WithTsco sets the SCO reservation period and offset.
+func WithTsco(tscoSlots, dscoEven int) TrafficOption {
+	return func(t *Traffic) { t.TscoSlots, t.DscoEven = tscoSlots, dscoEven }
+}
+
+// WithMeanGap sets the poisson mean inter-burst gap in slots.
+func WithMeanGap(slots float64) TrafficOption {
+	return func(t *Traffic) { t.MeanGapSlots = slots }
+}
+
+// WithBurstBytes sets the poisson burst size.
+func WithBurstBytes(bytes int) TrafficOption {
+	return func(t *Traffic) { t.BurstBytes = bytes }
+}
+
+// WithSDUBytes sets the flow SDU payload size.
+func WithSDUBytes(bytes int) TrafficOption {
+	return func(t *Traffic) { t.SDUBytes = bytes }
+}

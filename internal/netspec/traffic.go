@@ -1,0 +1,219 @@
+package netspec
+
+import (
+	"math"
+
+	"repro/internal/baseband"
+	"repro/internal/packet"
+)
+
+// Voice is one running SCO voice stream (master to slave) with its
+// delivery accounting.
+type Voice struct {
+	// Piconet and Slave (1-based) locate the stream.
+	Piconet, Slave int
+	// MasterSCO and SlaveSCO are the two reservation ends.
+	MasterSCO, SlaveSCO *baseband.SCOLink
+
+	perfect                     int
+	baseTx, baseRx, basePerfect int
+}
+
+// TxFrames, RxFrames and BitPerfect report the current measurement
+// window's frame counts.
+func (v *Voice) TxFrames() int   { return v.MasterSCO.TxFrames - v.baseTx }
+func (v *Voice) RxFrames() int   { return v.SlaveSCO.RxFrames - v.baseRx }
+func (v *Voice) BitPerfect() int { return v.perfect - v.basePerfect }
+
+// voicePattern fills outgoing voice frames; a garbled byte marks a
+// residual error at the sink.
+const voicePattern = byte(0x5A)
+
+// Start fires every Traffic stanza of the spec: bulk/voice/poisson
+// sources piconet by piconet (each piconet's adaptive classifier, when
+// configured, arms right after its pumps, so classification sees the
+// pumped traffic from slot one), then the end-to-end flows in stanza
+// order. Call it once, after Build and any caller-side warm-up.
+func (w *World) Start() {
+	if w.started {
+		panic("netspec: World.Start called twice")
+	}
+	w.started = true
+	for _, p := range w.Piconets {
+		if p.spec.Detached {
+			continue
+		}
+		for ti := range w.spec.Traffic {
+			t := &w.spec.Traffic[ti]
+			if t.Kind == TrafficFlow || (t.Piconet != AllPiconets && t.Piconet != p.Index) {
+				continue
+			}
+			switch t.Kind {
+			case TrafficBulk:
+				w.startBulk(p, t)
+			case TrafficVoice:
+				w.startVoice(p, t)
+			case TrafficPoisson:
+				w.startPoisson(p, t)
+			}
+		}
+		if p.spec.AFH == AFHAdaptive {
+			w.startClassifier(p)
+		}
+	}
+	for ti := range w.spec.Traffic {
+		t := &w.spec.Traffic[ti]
+		if t.Kind == TrafficFlow {
+			w.startFlow(FlowSpec{From: t.From, To: t.To}, t.SDUBytes, t.PumpDepth)
+		}
+	}
+}
+
+// targetLinks returns the stanza's target links within p, with their
+// slave indices (0-based).
+func (w *World) targetLinks(p *PiconetState, t *Traffic) ([]int, []*baseband.Link) {
+	var idx []int
+	var links []*baseband.Link
+	for j, l := range p.Links {
+		if t.Slave != 0 && j != t.Slave-1 {
+			continue
+		}
+		idx = append(idx, j)
+		links = append(links, l)
+	}
+	return idx, links
+}
+
+// startBulk arms a saturating master-to-slave pump on every targeted
+// link: PumpDepth packets queued, refilled every two slots.
+func (w *World) startBulk(p *PiconetState, t *Traffic) {
+	_, links := w.targetLinks(p, t)
+	for _, l := range links {
+		l.PacketType = t.PacketType
+		link := l
+		master := p.Master
+		depth := t.PumpDepth
+		chunk := make([]byte, t.PacketType.MaxPayload())
+		var pump func()
+		pump = func() {
+			for link.QueueLen() < depth {
+				link.Send(chunk, packet.LLIDL2CAPStart)
+			}
+			master.After(2, pump)
+		}
+		pump()
+	}
+}
+
+// startVoice reserves the stanza's SCO channels and wires the
+// patterned source and counting sink, one stream per targeted slave
+// (reservation offsets spread by slave, as validated).
+func (w *World) startVoice(p *PiconetState, t *Traffic) {
+	idx, links := w.targetLinks(p, t)
+	for k, l := range links {
+		j := idx[k]
+		v := &Voice{Piconet: p.Index, Slave: j + 1}
+		v.MasterSCO = p.Master.AddSCO(l, t.PacketType, t.TscoSlots, t.DscoEven+k)
+		v.SlaveSCO = p.Slaves[j].AcceptSCO(t.PacketType, t.TscoSlots, t.DscoEven+k)
+		size := t.PacketType.MaxPayload()
+		v.MasterSCO.Source = func() []byte {
+			f := make([]byte, size)
+			for i := range f {
+				f[i] = voicePattern
+			}
+			return f
+		}
+		v.SlaveSCO.Sink = func(f []byte) {
+			for _, by := range f {
+				if by != voicePattern {
+					return
+				}
+			}
+			v.perfect++
+		}
+		w.Voices = append(w.Voices, v)
+	}
+}
+
+// startPoisson arms an exponential-gap burst source on every targeted
+// link. Each source draws from its own split of the simulation's RNG
+// (derived here, in deterministic stanza-then-link order), so the
+// world stays bit-reproducible.
+func (w *World) startPoisson(p *PiconetState, t *Traffic) {
+	_, links := w.targetLinks(p, t)
+	for _, l := range links {
+		l.PacketType = t.PacketType
+		link := l
+		master := p.Master
+		rng := w.Sim.SplitRand()
+		mean := t.MeanGapSlots
+		burst := t.BurstBytes
+		var arm func()
+		arm = func() {
+			gap := uint64(math.Ceil(-mean * math.Log(1-rng.Float64())))
+			if gap < 1 {
+				gap = 1
+			}
+			master.After(gap, func() {
+				link.Send(make([]byte, burst), packet.LLIDL2CAPStart)
+				arm()
+			})
+		}
+		arm()
+	}
+}
+
+// StartFlows starts end-to-end relayed flows outside the spec's
+// Traffic stanzas (the scatternet adapter's dynamic entry point). With
+// no specs it starts the world's DefaultFlow. It panics on an unknown
+// endpoint or a bridge origin, and on a world without bridges.
+func (w *World) StartFlows(sduBytes, pumpDepth int, specs ...FlowSpec) {
+	if len(specs) == 0 {
+		specs = []FlowSpec{w.DefaultFlow()}
+	}
+	for _, spec := range specs {
+		w.startFlow(spec, sduBytes, pumpDepth)
+	}
+}
+
+// startFlow arms one origin's SDU stream toward its destination, gated
+// on its first-hop baseband queue so backpressure propagates to the
+// bridges instead of piling up at the source link.
+func (w *World) startFlow(spec FlowSpec, sduBytes, pumpDepth int) {
+	if w.nodes == nil {
+		panic("netspec: flows need a bridged world")
+	}
+	src, ok := w.nodes[spec.From]
+	if !ok {
+		panic("netspec: unknown flow origin " + spec.From)
+	}
+	dst, ok := w.nodes[spec.To]
+	if !ok {
+		panic("netspec: unknown flow destination " + spec.To)
+	}
+	if src.bridge != nil || dst.bridge != nil {
+		panic("netspec: bridges relay, they neither originate nor terminate flows")
+	}
+	if len(w.Flows) >= 255 {
+		panic("netspec: at most 255 flows")
+	}
+	f := &Flow{FlowSpec: spec}
+	idx := uint8(len(w.Flows))
+	w.Flows = append(w.Flows, f)
+
+	hop, ok := src.next[f.To]
+	if !ok {
+		panic("netspec: no route from " + f.From + " to " + f.To)
+	}
+	ch := src.chans[hop]
+	payload := make([]byte, sduBytes)
+	var tick func()
+	tick = func() {
+		if ch.Link().QueueLen() < pumpDepth {
+			ch.Send(encodeFrame(idx, f.To, w.Sim.Now(), payload))
+			f.SentBytes += len(payload)
+		}
+		src.dev.After(2, tick)
+	}
+	tick()
+}

@@ -1,39 +1,48 @@
-// Package scatternet builds scatternets on top of the coexistence
-// engine: a chain of piconets joined by bridge devices, each bridge a
-// slave in two piconets at once, timesharing its single radio between
-// the two hop sequences. The timesharing is expressed with the
-// machinery the lower layers already have — a bridge holds one
-// baseband.Membership per piconet (clock offset, hop selector,
-// AM_ADDR) and pins a sniff window on each link over the LMP
-// slot-offset/presence handshake, so each master only addresses the
-// bridge while its radio is actually parked on that piconet. Above the
-// baseband the bridge runs store-and-forward at L2CAP: frames bound
-// for the other piconet queue at the bridge and drain during that
-// piconet's presence window, with time-weighted queue-depth and
-// forwarding-latency statistics.
+// Package scatternet builds scatternets: a chain of piconets joined by
+// bridge devices, each bridge a slave in two piconets at once,
+// timesharing its single radio between the two hop sequences and
+// relaying L2CAP frames store-and-forward.
+//
+// Deprecated: the engine lives in internal/netspec now; this package
+// is a thin adapter kept for one PR so existing callers migrate at
+// their own pace. New code should declare a netspec.Spec — a Config
+// here compiles to exactly that — and use the World.Metrics surface.
 package scatternet
 
 import (
-	"encoding/binary"
 	"fmt"
 
-	"repro/internal/baseband"
-	"repro/internal/btclock"
 	"repro/internal/coex"
 	"repro/internal/core"
-	"repro/internal/l2cap"
-	"repro/internal/lmp"
+	"repro/internal/netspec"
 	"repro/internal/packet"
-	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
-// relayPSM is the protocol/service multiplexer value the scatternet
-// relay protocol rides on.
-const relayPSM = 0x0F
+// Membership is one of a bridge's two piconet attachments.
+//
+// Deprecated: use netspec.Membership.
+type Membership = netspec.Membership
+
+// Bridge is one scatternet bridge.
+//
+// Deprecated: use netspec.BridgeState.
+type Bridge = netspec.BridgeState
+
+// FlowSpec names one end-to-end traffic flow by device names.
+//
+// Deprecated: use netspec.FlowSpec.
+type FlowSpec = netspec.FlowSpec
+
+// Flow is a running flow with its delivery accounting.
+//
+// Deprecated: use netspec.Flow.
+type Flow = netspec.Flow
 
 // Config describes the scatternet to build: a chain of Piconets joined
 // by Piconets-1 bridges.
+//
+// Deprecated: declare a netspec.Spec instead; see Config.Spec for the
+// exact translation.
 type Config struct {
 	// Piconets is the chain length (default 2, minimum 2).
 	Piconets int
@@ -42,18 +51,15 @@ type Config struct {
 	// stay within the 7 active members a piconet supports.
 	Slaves int
 
-	// PresencePeriodSlots is the bridge timesharing period T: each
-	// bridge cycles through both its piconets once per period. Must be
-	// a multiple of 4 (windows land on even-slot boundaries); default
-	// 256 slots = 160 ms.
+	// PresencePeriodSlots is the bridge timesharing period T (multiple
+	// of 4; default 256 slots = 160 ms).
 	PresencePeriodSlots int
 	// PresenceDuty is the fraction of the period the bridge radio is
-	// present in some piconet, split evenly between the two (the rest
-	// is guard and retune time). In (0, 1]; default 0.8.
+	// present in some piconet, split evenly between the two. In (0, 1];
+	// default 0.8.
 	PresenceDuty float64
 	// GuardEvenSlots shortens each presence window by this many even
-	// slots so a multi-slot exchange never straddles a retune boundary
-	// (default 2).
+	// slots (default 2).
 	GuardEvenSlots int
 
 	// PacketType carries the relayed traffic (default DM1).
@@ -62,41 +68,27 @@ type Config struct {
 	// (default 64).
 	SDUBytes int
 	// PumpDepth bounds how many frames a traffic pump or bridge drain
-	// keeps in a baseband transmit queue; beyond it, backpressure stays
-	// at L2CAP where the queue statistics live (default 2).
+	// keeps in a baseband transmit queue (default 2).
 	PumpDepth int
-	// TpollSlots is the masters' polling interval (default 64 — unlike
-	// the coexistence experiments, scatternet links are mostly idle and
-	// stay alive through POLLs).
+	// TpollSlots is the masters' polling interval (default 64 —
+	// scatternet links are mostly idle and stay alive through POLLs).
 	TpollSlots int
-
 	// MaxQueueFrames bounds each bridge's store-and-forward backlog
-	// (both directions pooled); frames beyond it are dropped and
-	// counted. Without a bound a saturating source pushes the queue —
-	// and the forwarding latency — toward infinity whenever the inbound
-	// window outpaces the outbound one (default 32).
+	// (default 32).
 	MaxQueueFrames int
 }
 
-// normalize fills zero fields with defaults and validates the topology.
-func (c *Config) normalize() {
+// withDefaults fills the zero fields the Spec translation needs
+// locally (the rest default inside netspec).
+func (c Config) withDefaults() Config {
 	if c.Piconets == 0 {
 		c.Piconets = 2
 	}
 	if c.Slaves == 0 {
 		c.Slaves = 1
 	}
-	if c.PresencePeriodSlots == 0 {
-		c.PresencePeriodSlots = 256
-	}
-	if c.PresenceDuty == 0 {
-		c.PresenceDuty = 0.8
-	}
-	if c.GuardEvenSlots == 0 {
-		c.GuardEvenSlots = 2
-	}
-	if c.PacketType == 0 {
-		c.PacketType = packet.TypeDM1
+	if c.TpollSlots == 0 {
+		c.TpollSlots = 64
 	}
 	if c.SDUBytes == 0 {
 		c.SDUBytes = 64
@@ -104,553 +96,99 @@ func (c *Config) normalize() {
 	if c.PumpDepth == 0 {
 		c.PumpDepth = 2
 	}
-	if c.TpollSlots == 0 {
-		c.TpollSlots = 64
+	return c
+}
+
+// normalize validates the config and fills every default, panicking on
+// an invalid topology as the pre-netspec engine did. The default
+// values themselves live in netspec: the resolved spec is mirrored
+// back into the config so the engine's table stays the single source.
+func (c *Config) normalize() {
+	*c = c.withDefaults()
+	spec := c.Spec() // panics on Piconets < 2
+	if err := spec.Validate(); err != nil {
+		panic("scatternet: " + err.Error())
 	}
-	if c.MaxQueueFrames == 0 {
-		c.MaxQueueFrames = 32
-	}
+	b := spec.Resolved().Bridges[0]
+	c.PresencePeriodSlots = b.PresencePeriodSlots
+	c.PresenceDuty = b.PresenceDuty
+	c.GuardEvenSlots = b.GuardEvenSlots
+	c.PacketType = b.PacketType
+	c.PumpDepth = b.PumpDepth
+	c.MaxQueueFrames = b.MaxQueueFrames
+}
+
+// Spec translates the config into the equivalent netspec world: a
+// chain of identical piconet stanzas joined by bridge stanzas. Flows
+// are not part of the translation — StartTraffic adds them, as this
+// package always did.
+func (c Config) Spec() netspec.Spec {
+	c = c.withDefaults()
 	if c.Piconets < 2 {
 		panic(fmt.Sprintf("scatternet: need at least 2 piconets, got %d", c.Piconets))
 	}
-	bridgesPerMiddle := 2
-	if c.Piconets == 2 {
-		bridgesPerMiddle = 1
+	piconets := make([]netspec.Piconet, 0, c.Piconets)
+	for i := 0; i < c.Piconets; i++ {
+		piconets = append(piconets, netspec.Piconet{
+			Slaves:     c.Slaves,
+			TpollSlots: c.TpollSlots,
+		})
 	}
-	if c.Slaves < 1 || c.Slaves+bridgesPerMiddle > 7 {
-		panic(fmt.Sprintf("scatternet: %d slaves + %d bridges exceed 7 active members", c.Slaves, bridgesPerMiddle))
+	bridges := make([]netspec.Bridge, 0, c.Piconets-1)
+	for i := 0; i < c.Piconets-1; i++ {
+		bridges = append(bridges, netspec.Bridge{
+			A: i, B: i + 1,
+			PresencePeriodSlots: c.PresencePeriodSlots,
+			PresenceDuty:        c.PresenceDuty,
+			GuardEvenSlots:      c.GuardEvenSlots,
+			PacketType:          c.PacketType,
+			PumpDepth:           c.PumpDepth,
+			MaxQueueFrames:      c.MaxQueueFrames,
+		})
 	}
-	if c.PresencePeriodSlots < 64 || c.PresencePeriodSlots%4 != 0 {
-		panic(fmt.Sprintf("scatternet: presence period must be a multiple of 4 and >= 64, got %d", c.PresencePeriodSlots))
-	}
-	if c.PresenceDuty < 0 || c.PresenceDuty > 1 {
-		panic(fmt.Sprintf("scatternet: presence duty %g out of (0,1]", c.PresenceDuty))
-	}
-	if c.windowEvenSlots() < 1 {
-		panic(fmt.Sprintf("scatternet: duty %g leaves no presence window after the %d-even-slot guard",
-			c.PresenceDuty, c.GuardEvenSlots))
-	}
+	return netspec.Spec{Piconets: piconets, Bridges: bridges}
 }
 
-// windowEvenSlots is the per-membership sniff attempt: half the duty
-// share of the period, in even slots, minus the guard.
-func (c *Config) windowEvenSlots() int {
-	return int(c.PresenceDuty*float64(c.PresencePeriodSlots)/4) - c.GuardEvenSlots
-}
-
-// Membership is one of a bridge's two piconet attachments.
-type Membership struct {
-	// Piconet is the chain index of the attached piconet.
-	Piconet int
-	// Link is the bridge-side ACL link to that piconet's master.
-	Link *baseband.Link
-	// MasterLink is the master-side end of the same link.
-	MasterLink *baseband.Link
-	// BB is the baseband membership (clock offset, hop sequence).
-	BB *baseband.Membership
-	// Out is the relay channel from the bridge to the piconet's master.
-	Out *l2cap.Channel
-	// SniffOffset and AttemptEvenSlots are the negotiated presence
-	// window in the piconet's even-slot index domain.
-	SniffOffset      int
-	AttemptEvenSlots int
-
-	clockOffset uint32
-}
-
-// queuedFrame is one store-and-forward entry.
-type queuedFrame struct {
-	sdu []byte
-	at  uint64 // enqueue time in slots
-}
-
-// Bridge is one scatternet bridge: a device that is slave in the two
-// adjacent piconets and relays L2CAP frames between them.
-type Bridge struct {
-	// Index is the chain position: bridge i joins piconets i and i+1.
-	Index int
-	// Dev is the bridge device.
-	Dev *baseband.Device
-	// LMP runs the bridge side of the presence handshakes.
-	LMP *lmp.Manager
-	// Members are the two attachments, lower piconet first.
-	Members [2]*Membership
-
-	// QueueDepth tracks the store-and-forward queue depth over time
-	// (both directions pooled), in slots.
-	QueueDepth stats.Occupancy
-	// FwdLatency samples per-frame forwarding latency — enqueue at the
-	// bridge to drain into the outgoing window — in slots.
-	FwdLatency stats.Sample
-	// Forwarded counts frames relayed across the bridge.
-	Forwarded int
-	// Dropped counts frames the bounded queue refused.
-	Dropped int
-
-	active int
-	q      [2][]queuedFrame
-	node   *node
-	net    *Net
-}
-
-// ActiveMembership returns the index (0 or 1) of the currently
-// activated membership.
-func (b *Bridge) ActiveMembership() int { return b.active }
-
-// depth is the total store-and-forward backlog across both directions.
-func (b *Bridge) depth() int { return len(b.q[0]) + len(b.q[1]) }
-
-// node is one relay participant (master, slave or bridge): its L2CAP
-// entity, the relay channels to its neighbours and the next-hop table.
-type node struct {
-	name   string
-	dev    *baseband.Device
-	mux    *l2cap.Mux
-	chans  map[string]*l2cap.Channel // neighbour name -> relay channel
-	peers  []string                  // neighbour names in attach order (deterministic)
-	next   map[string]string         // destination -> neighbour name
-	bridge *Bridge                   // non-nil on bridges
-}
-
-// FlowSpec names one end-to-end traffic flow by device names.
-type FlowSpec struct {
-	From, To string
-}
-
-// Flow is a running flow with its delivery accounting.
-type Flow struct {
-	FlowSpec
-	// SentBytes and DeliveredBytes count SDU payload over the current
-	// measurement window.
-	SentBytes, DeliveredBytes int
-	// Latency samples end-to-end delivery latency in slots.
-	Latency stats.Sample
-}
-
-// Net is a built scatternet.
+// Net is a built scatternet; it embeds the netspec.World, whose richer
+// Metrics surface is available alongside the legacy Totals.
+//
+// Deprecated: use netspec.Build / netspec.World.
 type Net struct {
-	// Sim owns the kernel and shared channel.
-	Sim *core.Simulation
-	// Coex is the underlying multi-piconet world (masters, slaves,
-	// collision attribution).
+	*netspec.World
+	// Coex is the legacy view of the underlying multi-piconet world.
 	Coex *coex.Net
-	// Bridges in chain order.
-	Bridges []*Bridge
-	// Flows started by StartTraffic.
-	Flows []*Flow
 
-	// DeliveredBytes is the SDU payload total delivered at final
-	// destinations since the last ResetStats.
-	DeliveredBytes int
-	// E2ELatency samples end-to-end latency across all flows, in slots.
-	E2ELatency stats.Sample
-	// RouteMisses counts frames dropped for lack of a route.
-	RouteMisses int
-
-	cfg   Config
-	nodes map[string]*node
-	names map[baseband.BDAddr]string
-	t0    uint64 // presence grid anchor, kernel ticks
+	cfg Config
 }
 
 // MasterName returns the device name of piconet i's master.
-func MasterName(i int) string { return fmt.Sprintf("p%d.master", i) }
+func MasterName(i int) string { return netspec.MasterName(i) }
 
 // SlaveName returns the device name of slave j (1-based) in piconet i.
-func SlaveName(i, j int) string { return fmt.Sprintf("p%d.slave%d", i, j) }
+func SlaveName(i, j int) string { return netspec.SlaveName(i, j) }
 
 // BridgeName returns the device name of bridge i.
-func BridgeName(i int) string { return fmt.Sprintf("bridge%d", i) }
-
-// DefaultFlow is the canonical end-to-end flow: from the first
-// piconet's master to the first slave of the last piconet — every hop
-// of the chain, both directions of every bridge window exercised on
-// the way.
-func (n *Net) DefaultFlow() FlowSpec {
-	return FlowSpec{From: MasterName(0), To: SlaveName(n.cfg.Piconets-1, 1)}
-}
+func BridgeName(i int) string { return netspec.BridgeName(i) }
 
 // New is Build on a fresh world.
+//
+// Deprecated: use netspec.Build with core.NewSimulation.
 func New(opt core.Options, cfg Config) *Net {
 	return Build(core.NewSimulation(opt), cfg)
 }
 
-// Build stands the scatternet up on s: the base piconets through the
-// coexistence engine, one bridge per adjacent pair (paged into both
-// piconets sequentially), relay channels over every ACL link, the
-// presence handshake on both bridge links, and finally the presence
-// scheduler that timeshares each bridge's radio. Build panics if any
-// stage cannot complete, which cannot happen at BER 0 with sane
-// parameters; it advances simulated time (paging, channel setup and
-// LMP negotiation all happen on the air).
+// Build stands the scatternet up on s. It panics if any stage cannot
+// complete, as it always did; it advances simulated time (paging,
+// channel setup and LMP negotiation all happen on the air).
+//
+// Deprecated: use netspec.Build.
 func Build(s *core.Simulation, cfg Config) *Net {
 	cfg.normalize()
-	n := &Net{
-		Sim:   s,
-		cfg:   cfg,
-		nodes: make(map[string]*node),
-		names: make(map[baseband.BDAddr]string),
+	w, err := netspec.Build(s, cfg.Spec())
+	if err != nil {
+		panic("scatternet: " + err.Error())
 	}
-	n.Coex = coex.Build(s, coex.Config{
-		Piconets:   cfg.Piconets,
-		Slaves:     cfg.Slaves,
-		PacketType: cfg.PacketType,
-		TpollSlots: cfg.TpollSlots,
-	})
-
-	// Every master and slave becomes a relay node. Attaching the L2CAP
-	// entity takes over OnData, which is the point: all host traffic in
-	// a scatternet is L2CAP.
-	for _, p := range n.Coex.Piconets {
-		n.addNode(p.Master)
-		for _, sl := range p.Slaves {
-			n.addNode(sl)
-		}
-	}
-	// Relay channels master->slave inside every piconet.
-	opened := 0
-	want := 0
-	for _, p := range n.Coex.Piconets {
-		mn := n.nodes[p.Master.Name()]
-		for _, l := range p.Links {
-			want++
-			link := l
-			mn.mux.Connect(link, relayPSM, func(ch *l2cap.Channel, err error) {
-				if err != nil {
-					panic("scatternet: intra-piconet relay channel refused: " + err.Error())
-				}
-				n.registerChannel(mn, ch)
-				opened++
-			})
-		}
-	}
-	n.runUntil(2048, "intra-piconet channel setup", func() bool { return opened == want })
-
-	for i := 0; i < cfg.Piconets-1; i++ {
-		n.Bridges = append(n.Bridges, n.buildBridge(i))
-	}
-	n.buildRoutes()
-
-	// Anchor the presence grid far enough out that every handshake
-	// finishes first; the sniff windows are periodic, so the anchor only
-	// fixes phases, not a start time.
-	period := uint64(cfg.PresencePeriodSlots) * sim.SlotTicks
-	n.t0 = (uint64(s.K.Now())/period + 2) * period
-	for _, b := range n.Bridges {
-		n.negotiatePresence(b)
-	}
-	for _, b := range n.Bridges {
-		n.startScheduler(b)
-		n.startDrain(b)
-	}
-	return n
-}
-
-// addNode wires a device into the relay: L2CAP entity plus the accept
-// side of the relay PSM.
-func (n *Net) addNode(d *baseband.Device) *node {
-	nd := &node{
-		name:  d.Name(),
-		dev:   d,
-		mux:   l2cap.Attach(d),
-		chans: make(map[string]*l2cap.Channel),
-		next:  make(map[string]string),
-	}
-	nd.mux.RegisterPSM(relayPSM, func(ch *l2cap.Channel) {
-		n.registerChannel(nd, ch)
-	})
-	n.nodes[nd.name] = nd
-	n.names[d.Addr()] = nd.name
-	return nd
-}
-
-// registerChannel books an open relay channel under the neighbour's
-// device name and points its SDU handler at the relay.
-func (n *Net) registerChannel(nd *node, ch *l2cap.Channel) {
-	peer, ok := n.names[ch.Link().Peer]
-	if !ok {
-		panic("scatternet: relay channel to unknown device")
-	}
-	if _, dup := nd.chans[peer]; !dup {
-		nd.peers = append(nd.peers, peer)
-	}
-	nd.chans[peer] = ch
-	ch.OnSDU = func(sdu []byte) { n.onSDU(nd, sdu) }
-}
-
-// buildBridge creates bridge i and pages it into piconets i and i+1.
-func (n *Net) buildBridge(i int) *Bridge {
-	d := n.Sim.AddDevice(BridgeName(i), baseband.Config{
-		Addr: baseband.BDAddr{
-			LAP: 0x7D0000 + uint32(i)*0x11111,
-			UAP: uint8(0xB0 + i),
-			NAP: uint16(0x0300 + i),
-		},
-		TpollSlots: n.cfg.TpollSlots,
-		// Scan continuously: the second page-in must not wait for an R1
-		// scan interval, and foreign piconets can collide with the
-		// handshake.
-		PageScanWindowSlots:   2048,
-		PageScanIntervalSlots: 2048,
-	})
-	b := &Bridge{Index: i, Dev: d, LMP: lmp.Attach(d), net: n}
-	b.node = n.addNode(d)
-	b.node.bridge = b
-	// Attribute the bridge's collisions to its lower piconet (it spends
-	// half its presence in each; the attribution needs one owner).
-	n.Coex.AdoptDevice(d, i)
-
-	b.Members[0] = n.joinPiconet(b, i)
-	bb0 := d.SuspendMembership()
-	b.Members[0].BB = bb0
-	b.Members[1] = n.joinPiconet(b, i+1)
-	b.Members[1].BB = d.CaptureMembership()
-	b.active = 1
-	return b
-}
-
-// joinPiconet pages the bridge into piconet pi, opens the relay channel
-// to its master, and records the piconet's clock offset. The bridge is
-// left active in that piconet.
-func (n *Net) joinPiconet(b *Bridge, pi int) *Membership {
-	p := n.Coex.Piconets[pi]
-	links := n.Sim.BuildPiconet(p.Master, b.Dev)
-	m := &Membership{
-		Piconet:     pi,
-		Link:        b.Dev.MasterLink(),
-		MasterLink:  links[0],
-		clockOffset: b.Dev.Clock.Offset(),
-	}
-	m.Link.PacketType = n.cfg.PacketType
-	m.MasterLink.PacketType = n.cfg.PacketType
-	done := false
-	b.node.mux.Connect(m.Link, relayPSM, func(ch *l2cap.Channel, err error) {
-		if err != nil {
-			panic("scatternet: bridge relay channel refused: " + err.Error())
-		}
-		m.Out = ch
-		n.registerChannel(b.node, ch)
-		done = true
-	})
-	n.runUntil(4096, "bridge relay channel setup", func() bool { return done })
-	return m
-}
-
-// negotiatePresence runs the LMP timing handshake on both of b's links:
-// slot offset first, then the sniff window that pins the bridge's
-// presence in that piconet. Membership 1 is negotiated first (the
-// bridge is already active there after its join), then the bridge
-// switches to membership 0 for the second handshake.
-func (n *Net) negotiatePresence(b *Bridge) {
-	for _, mi := range []int{1, 0} {
-		m := b.Members[mi]
-		if b.active != mi {
-			b.activate(mi)
-		}
-		m.AttemptEvenSlots = n.cfg.windowEvenSlots()
-		m.SniffOffset = n.sniffOffsetFor(b, mi)
-		accepted := false
-		b.LMP.RequestPresence(m.Link, n.cfg.PresencePeriodSlots, m.AttemptEvenSlots,
-			m.SniffOffset, n.slotOffsetUS(b, mi), func(ok bool) { accepted = ok })
-		n.runUntil(4096, "presence negotiation", func() bool { return accepted })
-	}
-}
-
-// sniffOffsetFor maps membership mi's absolute window start — the grid
-// anchor plus half a period per membership index — into that piconet's
-// even-slot index domain. The +1 even slot keeps the window strictly
-// inside the absolute half-period after activation boundary rounding.
-func (n *Net) sniffOffsetFor(b *Bridge, mi int) int {
-	half := uint64(n.cfg.PresencePeriodSlots) * sim.SlotTicks / 2
-	start := sim.Time(n.t0 + uint64(mi)*half)
-	clk := (b.Dev.Clock.CLKN(start) + b.Members[mi].clockOffset) & btclock.Mask
-	period := uint32(n.cfg.PresencePeriodSlots / 2) // even slots per period
-	return int(((clk >> 2) + 1) % period)
-}
-
-// slotOffsetUS is the announced phase difference between the bridge's
-// other piconet's TDD frame and membership mi's, in microseconds.
-func (n *Net) slotOffsetUS(b *Bridge, mi int) uint16 {
-	other := b.Members[1-mi].clockOffset
-	this := b.Members[mi].clockOffset
-	diff := (other - this) & 3 // half-slots within the 2-slot TDD frame
-	return uint16(uint64(diff) * 3125 / 10)
-}
-
-// activate switches the bridge radio to membership mi.
-func (b *Bridge) activate(mi int) {
-	b.active = mi
-	b.Dev.ActivateMembership(b.Members[mi].BB)
-}
-
-// startScheduler arms the presence scheduler: at every half-period
-// boundary of the grid the bridge retunes to the membership whose
-// window opens there. Scheduled on the kernel directly — membership
-// switches must survive the state-generation bumps they themselves
-// cause.
-func (n *Net) startScheduler(b *Bridge) {
-	half := uint64(n.cfg.PresencePeriodSlots) * sim.SlotTicks / 2
-	now := uint64(n.Sim.K.Now())
-	k := uint64(0)
-	if now >= n.t0 {
-		k = (now-n.t0)/half + 1
-	}
-	var step func(k uint64)
-	step = func(k uint64) {
-		b.activate(int(k % 2))
-		n.Sim.K.At(sim.Time(n.t0+(k+1)*half), func() { step(k + 1) })
-	}
-	n.Sim.K.At(sim.Time(n.t0+k*half), func() { step(k) })
-}
-
-// startDrain arms the bridge's store-and-forward drain: every two slots
-// it moves frames from the active membership's queue into its link, as
-// long as the baseband queue stays shallow — so the backlog (and its
-// statistics) live at L2CAP, and frames only drain during the piconet's
-// presence window because only then does the master empty the link.
-func (n *Net) startDrain(b *Bridge) {
-	var tick func()
-	tick = func() {
-		b.drain()
-		b.Dev.After(2, tick)
-	}
-	tick()
-}
-
-// drain moves queued frames for the active membership into its link.
-func (b *Bridge) drain() {
-	m := b.Members[b.active]
-	if m.Out == nil {
-		return
-	}
-	now := b.net.Sim.Now()
-	moved := false
-	for len(b.q[b.active]) > 0 && m.Link.QueueLen() < b.net.cfg.PumpDepth {
-		f := b.q[b.active][0]
-		b.q[b.active] = b.q[b.active][1:]
-		b.FwdLatency.Add(float64(now - f.at))
-		b.Forwarded++
-		m.Out.Send(f.sdu)
-		moved = true
-	}
-	if moved {
-		b.QueueDepth.Observe(b.depth(), now)
-	}
-}
-
-// enqueue books one frame for the membership that reaches neighbour.
-func (b *Bridge) enqueue(neighbour string, sdu []byte) {
-	mi := -1
-	for i, m := range b.Members {
-		if b.net.names[m.Link.Peer] == neighbour {
-			mi = i
-			break
-		}
-	}
-	if mi < 0 {
-		b.net.RouteMisses++
-		return
-	}
-	if b.depth() >= b.net.cfg.MaxQueueFrames {
-		b.Dropped++
-		return
-	}
-	now := b.net.Sim.Now()
-	b.q[mi] = append(b.q[mi], queuedFrame{sdu: sdu, at: now})
-	b.QueueDepth.Observe(b.depth(), now)
-}
-
-// buildRoutes computes every node's next-hop table by breadth-first
-// search over the relay topology. Deterministic: adjacency is walked in
-// attach order.
-func (n *Net) buildRoutes() {
-	order := n.nodeOrder()
-	for _, src := range order {
-		nd := n.nodes[src]
-		// BFS from src over neighbour lists.
-		prev := map[string]string{src: ""}
-		queue := []string{src}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, nb := range n.nodes[cur].peers {
-				if _, seen := prev[nb]; seen {
-					continue
-				}
-				prev[nb] = cur
-				queue = append(queue, nb)
-			}
-		}
-		for _, dst := range order {
-			if dst == src {
-				continue
-			}
-			// Walk back from dst to the neighbour of src on the path.
-			hop, cur := "", dst
-			for cur != "" && cur != src {
-				hop, cur = cur, prev[cur]
-			}
-			if cur == src && hop != "" {
-				nd.next[dst] = hop
-			}
-		}
-	}
-}
-
-// nodeOrder lists node names deterministically: masters and slaves in
-// build order, then bridges.
-func (n *Net) nodeOrder() []string {
-	var out []string
-	for _, p := range n.Coex.Piconets {
-		out = append(out, p.Master.Name())
-		for _, sl := range p.Slaves {
-			out = append(out, sl.Name())
-		}
-	}
-	for _, b := range n.Bridges {
-		out = append(out, b.Dev.Name())
-	}
-	return out
-}
-
-// route forwards sdu toward dst from nd: bridges queue it for the
-// membership window, everyone else sends it straight down the link.
-func (n *Net) route(nd *node, dst string, sdu []byte) {
-	hop, ok := nd.next[dst]
-	if !ok {
-		n.RouteMisses++
-		return
-	}
-	if nd.bridge != nil {
-		nd.bridge.enqueue(hop, sdu)
-		return
-	}
-	ch, ok := nd.chans[hop]
-	if !ok {
-		n.RouteMisses++
-		return
-	}
-	ch.Send(sdu)
-}
-
-// onSDU handles a relay frame arriving at nd: deliver or forward.
-func (n *Net) onSDU(nd *node, sdu []byte) {
-	fr, ok := decodeFrame(sdu)
-	if !ok {
-		return
-	}
-	if fr.dst == nd.name {
-		n.DeliveredBytes += len(fr.payload)
-		lat := float64(n.Sim.Now() - fr.origin)
-		n.E2ELatency.Add(lat)
-		if int(fr.flow) < len(n.Flows) {
-			f := n.Flows[fr.flow]
-			f.DeliveredBytes += len(fr.payload)
-			f.Latency.Add(lat)
-		}
-		return
-	}
-	n.route(nd, fr.dst, sdu)
+	return &Net{World: w, Coex: coex.Wrap(w), cfg: cfg}
 }
 
 // StartTraffic starts the given flows (DefaultFlow when none are
@@ -658,128 +196,16 @@ func (n *Net) onSDU(nd *node, sdu []byte) {
 // gated on its first-hop baseband queue so backpressure propagates to
 // the bridges instead of piling up at the source link.
 func (n *Net) StartTraffic(flows ...FlowSpec) {
-	if len(flows) == 0 {
-		flows = []FlowSpec{n.DefaultFlow()}
-	}
-	if len(flows) > 255 {
-		panic("scatternet: at most 255 flows")
-	}
-	for _, spec := range flows {
-		src, ok := n.nodes[spec.From]
-		if !ok {
-			panic("scatternet: unknown flow origin " + spec.From)
-		}
-		if _, ok := n.nodes[spec.To]; !ok {
-			panic("scatternet: unknown flow destination " + spec.To)
-		}
-		if src.bridge != nil {
-			panic("scatternet: bridges relay, they do not originate flows")
-		}
-		f := &Flow{FlowSpec: spec}
-		idx := uint8(len(n.Flows))
-		n.Flows = append(n.Flows, f)
-		n.startPump(src, f, idx)
-	}
+	n.World.StartFlows(n.cfg.SDUBytes, n.cfg.PumpDepth, flows...)
 }
 
-// startPump arms one origin's SDU stream.
-func (n *Net) startPump(src *node, f *Flow, idx uint8) {
-	hop, ok := src.next[f.To]
-	if !ok {
-		panic("scatternet: no route from " + f.From + " to " + f.To)
-	}
-	ch := src.chans[hop]
-	payload := make([]byte, n.cfg.SDUBytes)
-	var tick func()
-	tick = func() {
-		if ch.Link().QueueLen() < n.cfg.PumpDepth {
-			ch.Send(encodeFrame(idx, f.To, n.Sim.Now(), payload))
-			f.SentBytes += len(payload)
-		}
-		src.dev.After(2, tick)
-	}
-	tick()
-}
-
-// frame is the decoded relay header.
-type frame struct {
-	flow    uint8
-	dst     string
-	origin  uint64 // origin send time in slots
-	payload []byte
-}
-
-// encodeFrame serialises the relay header in front of the payload:
-// flow index, destination name, origin timestamp.
-func encodeFrame(flow uint8, dst string, origin uint64, payload []byte) []byte {
-	if len(dst) > 255 {
-		panic("scatternet: destination name too long")
-	}
-	out := make([]byte, 0, 2+len(dst)+8+len(payload))
-	out = append(out, flow, uint8(len(dst)))
-	out = append(out, dst...)
-	var ts [8]byte
-	binary.LittleEndian.PutUint64(ts[:], origin)
-	out = append(out, ts[:]...)
-	return append(out, payload...)
-}
-
-// decodeFrame parses a relay frame.
-func decodeFrame(b []byte) (frame, bool) {
-	if len(b) < 2 {
-		return frame{}, false
-	}
-	dl := int(b[1])
-	if len(b) < 2+dl+8 {
-		return frame{}, false
-	}
-	return frame{
-		flow:    b[0],
-		dst:     string(b[2 : 2+dl]),
-		origin:  binary.LittleEndian.Uint64(b[2+dl : 2+dl+8]),
-		payload: b[2+dl+8:],
-	}, true
-}
-
-// runUntil advances the kernel in slot chunks until cond holds, or
-// panics after limitSlots.
-func (n *Net) runUntil(limitSlots uint64, what string, cond func() bool) {
-	deadline := n.Sim.K.Now() + sim.Time(sim.Slots(limitSlots))
-	for !cond() && n.Sim.K.Now() < deadline {
-		n.Sim.K.RunUntil(n.Sim.K.Now() + sim.Time(sim.Slots(16)))
-	}
-	if !cond() {
-		panic("scatternet: " + what + " timed out")
-	}
-}
-
-// ResetStats opens a fresh measurement window: delivery and latency
-// accounting, bridge queue statistics and every device's counters and
-// meters restart. Queued frames stay queued — the backlog is state,
-// not statistics — and the fresh queue gauge is seeded with the
-// current depth.
-func (n *Net) ResetStats() {
-	n.DeliveredBytes = 0
-	n.RouteMisses = 0
-	n.E2ELatency = stats.Sample{}
-	for _, f := range n.Flows {
-		f.SentBytes, f.DeliveredBytes = 0, 0
-		f.Latency = stats.Sample{}
-	}
-	now := n.Sim.Now()
-	for _, b := range n.Bridges {
-		b.QueueDepth = stats.Occupancy{}
-		b.QueueDepth.Observe(b.depth(), now)
-		b.FwdLatency = stats.Sample{}
-		b.Forwarded = 0
-		b.Dropped = 0
-		b.Dev.Counters = baseband.Counters{}
-		core.ResetMeters(b.Dev)
-	}
-	n.Coex.ResetStats()
-}
+// ResetStats opens a fresh measurement window (see
+// netspec.World.ResetMetrics).
+func (n *Net) ResetStats() { n.World.ResetMetrics() }
 
 // Totals summarises the current measurement window.
+//
+// Deprecated: use netspec.World.Metrics.
 type Totals struct {
 	// DeliveredBytes is the end-to-end SDU payload delivered.
 	DeliveredBytes int
@@ -803,31 +229,22 @@ type Totals struct {
 
 // Totals reads the current window's counters without closing it.
 func (n *Net) Totals() Totals {
-	t := Totals{
-		DeliveredBytes:      n.DeliveredBytes,
-		E2ELatencyMeanSlots: n.E2ELatency.Mean(),
-		RouteMisses:         n.RouteMisses,
+	m := n.World.Metrics()
+	return Totals{
+		DeliveredBytes:      m.EndToEndBytes,
+		ForwardedFrames:     m.ForwardedFrames,
+		DroppedFrames:       m.DroppedFrames,
+		FwdLatencyMeanSlots: m.FwdLatency.Mean(),
+		E2ELatencyMeanSlots: m.E2ELatency.Mean(),
+		QueueMeanDepth:      m.Queue.Mean,
+		QueueMaxDepth:       m.Queue.Max,
+		MembershipSwitches:  m.MembershipSwitches,
+		RouteMisses:         m.RouteMisses,
 	}
-	now := n.Sim.Now()
-	var q stats.Occupancy
-	var fwd stats.Sample
-	for _, b := range n.Bridges {
-		t.ForwardedFrames += b.Forwarded
-		t.DroppedFrames += b.Dropped
-		t.MembershipSwitches += b.Dev.Counters.MembershipSwitches
-		qc := b.QueueDepth // copy; Finish must not disturb the live gauge
-		qc.Finish(now)
-		q.Merge(&qc)
-		fwd.Merge(&b.FwdLatency)
-	}
-	t.FwdLatencyMeanSlots = fwd.Mean()
-	t.QueueMeanDepth = q.Mean()
-	t.QueueMaxDepth = q.Max
-	return t
 }
 
 // GoodputKbps converts delivered payload over a slot horizon into
 // kbit/s.
 func GoodputKbps(bytes int, slots uint64) float64 {
-	return coex.GoodputKbps(bytes, slots)
+	return netspec.GoodputKbps(bytes, slots)
 }

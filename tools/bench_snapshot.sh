@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_snapshot.sh [name] — capture one perf-trajectory snapshot into
+# bench/: runs the benchmark smoke suite (-benchtime 1x, the same
+# invocation as the CI bench job) and converts the output to
+# bench/BENCH_<name>.json via tools/bench_to_json.sh.
+#
+# CI uploads the same JSON as a workflow artifact, but artifacts do not
+# accumulate where the repo can see them — committing the bench/ file
+# is what makes the trajectory visible in-tree (see EXPERIMENTS.md,
+# "Perf trajectory"). <name> defaults to the current short commit sha,
+# with a "-dirty" suffix when the working tree has uncommitted changes
+# (i.e. the snapshot measures a tree that is not exactly that commit).
+set -eu
+cd "$(dirname "$0")/.."
+
+name="${1:-}"
+if [ -z "$name" ]; then
+    name=$(git rev-parse --short HEAD)
+    # Porcelain (not diff --quiet) so untracked files also count as
+    # dirty: the snapshot must not claim a sha its code does not match.
+    if [ -n "$(git status --porcelain)" ]; then
+        name="${name}-dirty"
+    fi
+fi
+
+mkdir -p bench
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+# No pipe: plain sh has no pipefail, and a tee pipeline would mask a
+# failing benchmark run behind tee's exit 0 (set -e stops us here).
+go test -run '^$' -bench . -benchtime 1x ./... > "$raw"
+sh tools/bench_to_json.sh "$raw" "bench/BENCH_${name}.json"
+echo "wrote bench/BENCH_${name}.json"
