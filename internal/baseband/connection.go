@@ -22,7 +22,7 @@ func (d *Device) scheduleMasterSlot(from sim.Time) {
 	if t <= d.now() {
 		t = d.nextCLKSlot(d.now() + 1)
 	}
-	d.at(t, d.masterSlot)
+	d.tMasterSlot.At(t)
 }
 
 // masterSlot runs one master transmit opportunity.
@@ -30,6 +30,7 @@ func (d *Device) masterSlot() {
 	if d.state != StateConnection || !d.isMaster {
 		return
 	}
+	d.masterParked = false
 	if d.rxBusy {
 		// A multi-slot response is still arriving.
 		d.scheduleMasterSlot(d.now() + 1)
@@ -53,7 +54,7 @@ func (d *Device) masterSlot() {
 	}
 	l := d.pickLink(now)
 	if l == nil {
-		d.scheduleMasterSlot(now + 1)
+		d.scheduleMasterIdle(now)
 		return
 	}
 	clk := d.Clock.CLK(now)
@@ -77,18 +78,127 @@ func (d *Device) masterSlot() {
 	// Listen for the slave's response in the slot after the packet.
 	slots := uint64(p.Header.Type.Slots())
 	respAt := now + sim.Time(sim.Slots(slots))
-	d.at(respAt-sim.Time(d.leadTicks()), func() {
-		if !d.rxBusy {
-			d.rxOn(d.chanFreq(d.ownSel, d.Clock.CLK(respAt)))
-		}
-	})
-	csClose := respAt + sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS)))
-	d.at(csClose, func() {
-		if !d.rxBusy {
-			d.rxOff()
-		}
-	})
+	d.masterRespAt = respAt
+	d.tMasterOpen.At(respAt - sim.Time(d.leadTicks()))
+	d.tMasterCls.At(respAt + sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS))))
 	d.scheduleMasterSlot(respAt + sim.Time(sim.Slots(1)))
+}
+
+// masterRespOpen opens the response listen window armed by the last
+// master transmission.
+func (d *Device) masterRespOpen() {
+	if !d.rxBusy {
+		d.rxOn(d.chanFreq(d.ownSel, d.Clock.CLK(d.masterRespAt)))
+	}
+}
+
+// scheduleMasterIdle re-arms the master loop after a slot with nothing
+// to do. When every member is provably quiet for a while — no queued
+// traffic, no poll due before Tpoll, no SCO reservation, beacon, sniff
+// window, hold expiry or supervision deadline — the loop long-skips to
+// the earliest of those deadlines instead of firing a no-op event every
+// other slot; new work re-arms it early (see wakeMaster).
+func (d *Device) scheduleMasterIdle(now sim.Time) {
+	wake, ok := d.masterNextWork(now)
+	if !ok || wake <= now+sim.Time(sim.Slots(2)) {
+		d.scheduleMasterSlot(now + 1)
+		return
+	}
+	d.masterParked = true
+	d.scheduleMasterSlot(wake)
+}
+
+// masterNextWork returns the earliest future time at which the master
+// loop could have work, and whether such a bound exists. It mirrors the
+// conditions of masterSlot/pickLink exactly: a slot strictly before the
+// returned time would find nothing to transmit.
+func (d *Device) masterNextWork(now sim.Time) (sim.Time, bool) {
+	const none = sim.Time(^uint64(0))
+	wake := none
+	earlier := func(t sim.Time) {
+		if t < wake {
+			wake = t
+		}
+	}
+	evenIdx := d.Clock.CLK(now) >> 2
+	slotAt := func(idx uint32) sim.Time {
+		return now + sim.Time(sim.Slots(uint64(idx-evenIdx)*2))
+	}
+	budget := sim.Time(sim.Slots(uint64(d.cfg.SupervisionTimeoutSlots)))
+	tpoll := sim.Time(sim.Slots(uint64(d.cfg.TpollSlots)))
+	for am := uint8(1); am <= 7; am++ {
+		l, ok := d.links[am]
+		if !ok {
+			continue
+		}
+		superRef := l.lastHeardAt
+		if superRef == 0 {
+			superRef = l.createdAt
+		}
+		switch l.mode {
+		case ModePark:
+			continue // beacons handled below; supervision suspended
+		case ModeHold:
+			// The resync poll is due at holdUntil; supervision resumes
+			// later still, so the expiry bounds this link.
+			earlier(l.holdUntil)
+			continue
+		case ModeSniff:
+			// Next slot inside the sniff window (the window itself is the
+			// earliest the master would address this link again).
+			period := uint32(l.sniffT / 2)
+			if period == 0 {
+				earlier(slotAt(evenIdx + 1))
+			} else {
+				idx := evenIdx + 1
+				if pos := (idx - uint32(l.sniffOffset)) % period; pos >= uint32(l.sniffAttempt) {
+					idx += period - pos
+				}
+				earlier(slotAt(idx))
+			}
+			earlier(superRef + budget)
+			continue
+		}
+		// Active: the next poll is due a full Tpoll after the last
+		// address (traffic arrivals re-arm the loop via wakeMaster).
+		earlier(l.lastAddressedAt + tpoll)
+		earlier(superRef + budget)
+	}
+	if len(d.scoLinks) > 0 {
+		earlier(slotAt(evenIdx + d.evenSlotsToNextSCO(evenIdx)))
+	}
+	if period := uint32(d.beaconEverySlots / 2); period > 0 {
+		for _, l := range d.links {
+			if l.mode == ModePark {
+				idx := evenIdx + 1
+				if r := idx % period; r != 0 {
+					idx += period - r
+				}
+				earlier(slotAt(idx))
+				break
+			}
+		}
+	}
+	return wake, wake != none
+}
+
+// wakeMaster re-arms a long-skipped master loop when new work appears:
+// queued traffic, a mode change, or a fresh SCO reservation. Work
+// arriving from an event exactly on a TX boundary serves this very slot
+// (the loop event fires later in the same tick, as the unskipped
+// loop's would have); work queued from outside the kernel loop at a
+// boundary tick waits for the next boundary, because the unskipped
+// loop's event for the current tick has already fired.
+func (d *Device) wakeMaster() {
+	if d == nil || !d.masterParked || !d.isMaster || d.state != StateConnection {
+		return
+	}
+	d.masterParked = false
+	t := d.nextCLKSlot(d.now())
+	if t == d.now() && !d.k.Running() {
+		t = d.nextCLKSlot(d.now() + 1)
+	}
+	d.tMasterSlot.At(t)
 }
 
 // pickLink selects which slave (if any) this transmit slot serves:
@@ -233,17 +343,17 @@ func (d *Device) scheduleSlaveListen(from sim.Time) {
 	}
 	switch l.mode {
 	case ModeHold:
-		d.at(maxTime(l.holdUntil, from), d.slaveHoldResync)
+		d.tSlaveSlot.AtFn(maxTime(l.holdUntil, from), d.fnSlaveHoldResync)
 		return
 	case ModeSniff:
-		d.at(d.nextSniffAnchor(from), d.slaveListenSlot)
+		d.tSlaveSlot.AtFn(d.nextSniffAnchor(from), d.fnSlaveListenSlot)
 		return
 	case ModePark:
-		d.at(d.nextBeaconSlot(from), d.slaveListenSlot)
+		d.tSlaveSlot.AtFn(d.nextBeaconSlot(from), d.fnSlaveListenSlot)
 		return
 	}
 	t := d.nextCLKSlotAfterLead(from)
-	d.at(t-sim.Time(d.leadTicks()), d.slaveListenSlot)
+	d.tSlaveSlot.AtFn(t-sim.Time(d.leadTicks()), d.fnSlaveListenSlot)
 }
 
 // nextSniffAnchor returns the start time of the next even slot inside
@@ -283,11 +393,7 @@ func (d *Device) slaveListenSlot() {
 	if l.mode == ModeSniff {
 		window = sim.Microseconds(uint64(d.cfg.SniffListenUS))
 	}
-	d.at(slotStart+sim.Time(window), func() {
-		if !d.rxBusy {
-			d.rxOff()
-		}
-	})
+	d.tSlaveCls.At(slotStart + sim.Time(window))
 	d.scheduleSlaveListen(slotStart + sim.Time(sim.Slots(2)) - sim.Time(d.leadTicks()))
 }
 
@@ -360,14 +466,28 @@ func (d *Device) slaveRx(tx *channel.Transmission, rx *bits.Vec, collided bool) 
 	}
 	// Respond in the slot following the master's packet.
 	respAt := tx.Start + sim.Time(sim.Slots(uint64(p.Header.Type.Slots())))
-	d.at(respAt, func() {
-		rclk := d.Clock.CLK(d.now())
-		resp := l.nextPacket(false)
-		d.transmit(resp, l.Master.UAP, rclk, d.chanFreq(l.sel, rclk))
-		d.after(sim.Duration(resp.AirBits()*sim.BitTicks), func() {
-			d.maybeReenterHold(l)
-		})
-	})
+	d.tSlaveResp.AtFn(respAt, d.fnSlaveRespond)
+}
+
+// slaveRespond transmits the slave's response in the slot after the
+// master's packet.
+func (d *Device) slaveRespond() {
+	l := d.mlink
+	if l == nil {
+		return
+	}
+	rclk := d.Clock.CLK(d.now())
+	resp := l.nextPacket(false)
+	d.transmit(resp, l.Master.UAP, rclk, d.chanFreq(l.sel, rclk))
+	d.tSlaveDone.Schedule(sim.Duration(resp.AirBits() * sim.BitTicks))
+}
+
+// slaveRespDone runs after the response leaves the antenna (hold
+// re-entry bookkeeping).
+func (d *Device) slaveRespDone() {
+	if l := d.mlink; l != nil {
+		d.maybeReenterHold(l)
+	}
 }
 
 func maxTime(a, b sim.Time) sim.Time {

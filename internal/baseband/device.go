@@ -61,6 +61,61 @@ type Device struct {
 	pg     pageState
 	pgscan pageScanState
 
+	// Reusable timers for every self-rescheduling per-slot callback
+	// (train steps, listen windows, poll loops, resync steps). Each is
+	// allocated once here and re-armed per slot, so the hot loops never
+	// hand the kernel a fresh closure. setState stops all of them —
+	// the timer analogue of the generation bump that invalidates
+	// closure-scheduled events.
+	tInqSlot    *sim.Timer // inquiry train step (every 2 slots)
+	tInqSecond  *sim.Timer // second ID of the train step (half slot)
+	tInqWin1    *sim.Timer // response window for the first ID
+	tInqWin2    *sim.Timer // response window for the second ID
+	tInqDeadln  *sim.Timer // overall inquiry timeout
+	tPgSlot     *sim.Timer // page train step
+	tPgSecond   *sim.Timer // second page ID
+	tPgWin1     *sim.Timer // page response window 1
+	tPgWin2     *sim.Timer // page response window 2
+	tPgDeadln   *sim.Timer // overall page timeout
+	tMasterSlot *sim.Timer // master TX-opportunity loop
+	tMasterOpen *sim.Timer // master response-listen open
+	tMasterCls  *sim.Timer // master response-listen close
+	tSlaveSlot  *sim.Timer // slave listen loop (also hold-resync entry)
+	tSlaveCls   *sim.Timer // slave listen-window close
+	tSlaveResp  *sim.Timer // slave response transmission
+	tSlaveDone  *sim.Timer // post-response bookkeeping (hold re-entry)
+	tHoldStep   *sim.Timer // hold-resync retune loop
+	tRetune     *sim.Timer // scan-frequency retune (every 1.28 s)
+	stateTimers []*sim.Timer
+
+	// Pre-bound callbacks reused by the timers above and by transmit;
+	// binding them once keeps method-value allocations off the hot path.
+	fnTxDone          func()
+	fnSlaveListenSlot func()
+	fnSlaveHoldResync func()
+	fnHoldResyncStep  func()
+	fnSlaveRespond    func()
+	fnScoRespond      func()
+
+	// Pre-assembled ID packets: an ID is just the 68-bit access code of
+	// a LAP, so the on-air bits for the device's own LAP and the GIAC
+	// are fixed for the device's lifetime (the page target's ID lives in
+	// pageState). Transmitting them costs no assembly and no allocation.
+	idOwn  *cachedID
+	idGIAC *cachedID
+
+	// Scratch for the timer callbacks (the state they would otherwise
+	// capture in a closure).
+	scanRetuneSel *hop.Selector // selector driving the scan retune loop
+	masterRespAt  sim.Time      // response-slot start of the last master TX
+	scoRespLink   *SCOLink      // voice link owing the next return frame
+
+	// masterParked marks a master whose TX loop long-skipped to the next
+	// deadline because no member had traffic, a due poll, an SCO
+	// reservation or a beacon; new work re-arms the loop early (see
+	// Link.Send and wakeMaster).
+	masterParked bool
+
 	// Connection state.
 	isMaster         bool
 	lastServedAM     uint8           // round-robin anchor for pickLink
@@ -137,6 +192,43 @@ func New(k *sim.Kernel, ch *channel.Channel, name string, cfg Config) *Device {
 	d.SigTxOn = sim.NewBool(k, name+".enable_tx_RF", false)
 	d.SigRxOn = sim.NewBool(k, name+".enable_rx_RF", false)
 	d.SigFreq = sim.NewInt(k, name+".freq", 7, 0)
+
+	d.tInqSlot = k.NewTimer(d.inquiryTxSlot)
+	d.tInqSecond = k.NewTimer(d.inquirySecondID)
+	d.tInqWin1 = k.NewTimer(d.inquiryRxWin1)
+	d.tInqWin2 = k.NewTimer(d.inquiryRxWin2)
+	d.tInqDeadln = k.NewTimer(d.finishInquiry)
+	d.tPgSlot = k.NewTimer(d.pageTxSlot)
+	d.tPgSecond = k.NewTimer(d.pageSecondID)
+	d.tPgWin1 = k.NewTimer(d.pageRxWin1)
+	d.tPgWin2 = k.NewTimer(d.pageRxWin2)
+	d.tPgDeadln = k.NewTimer(d.pageFail)
+	d.tMasterSlot = k.NewTimer(d.masterSlot)
+	d.tMasterOpen = k.NewTimer(d.masterRespOpen)
+	d.tMasterCls = k.NewTimer(d.rxOffIfIdle)
+	d.tSlaveSlot = k.NewTimer(nil)
+	d.tSlaveCls = k.NewTimer(d.rxOffIfIdle)
+	d.tSlaveResp = k.NewTimer(d.slaveRespond)
+	d.tSlaveDone = k.NewTimer(d.slaveRespDone)
+	d.tHoldStep = k.NewTimer(d.holdResyncStep)
+	d.tRetune = k.NewTimer(d.scanRetune)
+	d.stateTimers = []*sim.Timer{
+		d.tInqSlot, d.tInqSecond, d.tInqWin1, d.tInqWin2, d.tInqDeadln,
+		d.tPgSlot, d.tPgSecond, d.tPgWin1, d.tPgWin2, d.tPgDeadln,
+		d.tMasterSlot, d.tMasterOpen, d.tMasterCls,
+		d.tSlaveSlot, d.tSlaveCls, d.tSlaveResp, d.tSlaveDone,
+		d.tHoldStep, d.tRetune,
+	}
+
+	d.fnTxDone = d.txDone
+	d.fnSlaveListenSlot = d.slaveListenSlot
+	d.fnSlaveHoldResync = d.slaveHoldResync
+	d.fnHoldResyncStep = d.holdResyncStep
+	d.fnSlaveRespond = d.slaveRespond
+	d.fnScoRespond = d.scoRespond
+
+	d.idOwn = newCachedID(d.cfg.Addr.LAP)
+	d.idGIAC = newCachedID(access.GIAC)
 	return d
 }
 
@@ -162,10 +254,15 @@ func (d *Device) Links() map[uint8]*Link { return d.links }
 func (d *Device) MasterLink() *Link { return d.mlink }
 
 // setState transitions the state machine, invalidating every event
-// scheduled under the previous state.
+// scheduled under the previous state: closure-scheduled events die by
+// the generation bump, timer-scheduled ones are stopped outright.
 func (d *Device) setState(s State) {
 	d.state = s
 	d.gen++
+	for _, t := range d.stateTimers {
+		t.Stop()
+	}
+	d.masterParked = false
 	d.SigState.Set(s.String())
 	d.onRx = nil
 	d.onRxStart = nil
@@ -224,24 +321,63 @@ func (d *Device) rxOffForce() {
 // transmit assembles and sends p at freq, driving the TX meter and
 // signal for the packet's air time.
 func (d *Device) transmit(p *packet.Packet, uap uint8, clk uint32, freq int) {
-	v := p.Assemble(uap, clk)
 	meta := AirMeta{Type: p.Type(), LAP: p.AccessLAP}
 	if p.Header != nil {
 		meta.AMAddr = p.Header.AMAddr
 	}
+	d.transmitVec(p.Assemble(uap, clk), meta, freq)
+}
+
+// cachedID is a pre-assembled, pre-boxed ID packet: the 68-bit access
+// code of one LAP plus its boxed AirMeta annotation.
+type cachedID struct {
+	vec  *bits.Vec
+	meta any // boxed AirMeta
+}
+
+// newCachedID assembles and boxes the ID packet of a LAP.
+func newCachedID(lap uint32) *cachedID {
+	return &cachedID{
+		vec:  packet.NewID(lap).Assemble(0, 0),
+		meta: AirMeta{Type: packet.TypeID, LAP: lap},
+	}
+}
+
+// transmitID sends a pre-assembled, pre-boxed ID (see idOwnVec /
+// idGIACVec): the steady-state path of the inquiry and page trains,
+// which skips packet assembly and metadata boxing entirely.
+func (d *Device) transmitID(id *cachedID, freq int) {
+	d.transmitVec(id.vec, id.meta, freq)
+}
+
+// transmitVec puts assembled bits on the air, driving the TX meter and
+// signal for the packet's air time. meta is pre-boxed by the caller so
+// the hot paths can reuse one boxed value per packet identity.
+func (d *Device) transmitVec(v *bits.Vec, meta any, freq int) {
 	d.txCount++
 	d.TxMeter.Set(true)
 	d.SigTxOn.Set(true)
 	d.SigFreq.Set(int64(freq))
 	d.ch.Transmit(d.name, freq, v, meta)
 	d.Counters.TxPackets++
-	d.k.Schedule(sim.Duration(v.Len()*sim.BitTicks), func() {
-		d.txCount--
-		if d.txCount == 0 {
-			d.TxMeter.Set(false)
-			d.SigTxOn.Set(false)
-		}
-	})
+	d.k.Schedule(sim.Duration(v.Len()*sim.BitTicks), d.fnTxDone)
+}
+
+// txDone lowers the TX meter when the last nested transmission ends.
+func (d *Device) txDone() {
+	d.txCount--
+	if d.txCount == 0 {
+		d.TxMeter.Set(false)
+		d.SigTxOn.Set(false)
+	}
+}
+
+// rxOffIfIdle closes the listen window unless a packet is mid-air — the
+// shared close callback of every carrier-sense window.
+func (d *Device) rxOffIfIdle() {
+	if !d.rxBusy {
+		d.rxOff()
+	}
 }
 
 // RxStart implements channel.Listener: a packet began on our frequency.

@@ -51,9 +51,9 @@ func (d *Device) StartInquiry(timeoutSlots int, maxResults int, done func([]Inqu
 		done:            done,
 	}
 	d.onRx = d.inquiryRx
-	d.at(d.inq.deadline, func() { d.finishInquiry() })
+	d.tInqDeadln.At(d.inq.deadline)
 	// Trains start at the next transmit (CLKN mod 4 == 0) boundary.
-	d.at(d.Clock.NextTickTime(d.now(), 4, 0), d.inquiryTxSlot)
+	d.tInqSlot.At(d.Clock.NextTickTime(d.now(), 4, 0))
 }
 
 // InquirySlots reports how many slots the last completed inquiry took
@@ -69,7 +69,7 @@ func (d *Device) inquiryTxSlot() {
 	if d.rxBusy {
 		// An FHS response is still arriving (it may overrun into our TX
 		// slot); skip this train step.
-		d.after(sim.Slots(2), d.inquiryTxSlot)
+		d.tInqSlot.Schedule(sim.Slots(2))
 		return
 	}
 	d.rxOff()
@@ -84,27 +84,37 @@ func (d *Device) inquiryTxSlot() {
 	d.inq.lastX1 = hop.TrainPhase(clkn, trainA)
 	d.inq.lastX2 = hop.TrainPhase(clkn+1, trainA)
 
-	d.transmit(packet.NewID(access.GIAC), 0, 0, d.giacSel.Page(clkn, trainA))
-	d.after(sim.HalfSlotTicks, func() {
-		if d.rxBusy {
-			return
-		}
-		d.transmit(packet.NewID(access.GIAC), 0, 0, d.giacSel.Page(d.Clock.CLKN(d.now()), trainA))
-	})
+	d.transmitID(d.idGIAC, d.giacSel.Page(clkn, trainA))
+	d.tInqSecond.Schedule(sim.HalfSlotTicks)
 
 	// Response windows: FHS replies land one slot after each ID.
-	x1, x2 := d.inq.lastX1, d.inq.lastX2
-	d.after(sim.Slots(1)-d.leadTicks(), func() {
-		if !d.rxBusy {
-			d.rxOn(d.giacSel.RespForX(x1))
-		}
-	})
-	d.after(sim.Slots(1)+sim.HalfSlotTicks, func() {
-		if !d.rxBusy {
-			d.rxOn(d.giacSel.RespForX(x2))
-		}
-	})
-	d.after(sim.Slots(2), d.inquiryTxSlot)
+	d.tInqWin1.Schedule(sim.Slots(1) - d.leadTicks())
+	d.tInqWin2.Schedule(sim.Slots(1) + sim.HalfSlotTicks)
+	d.tInqSlot.Schedule(sim.Slots(2))
+}
+
+// inquirySecondID transmits the second ID of the train step, half a
+// slot after the first.
+func (d *Device) inquirySecondID() {
+	if d.rxBusy {
+		return
+	}
+	d.transmitID(d.idGIAC, d.giacSel.Page(d.Clock.CLKN(d.now()), d.inq.trainA))
+}
+
+// inquiryRxWin1 opens the response window for the first ID of the last
+// train step.
+func (d *Device) inquiryRxWin1() {
+	if !d.rxBusy {
+		d.rxOn(d.giacSel.RespForX(d.inq.lastX1))
+	}
+}
+
+// inquiryRxWin2 opens the response window for the second ID.
+func (d *Device) inquiryRxWin2() {
+	if !d.rxBusy {
+		d.rxOn(d.giacSel.RespForX(d.inq.lastX2))
+	}
 }
 
 // inquiryRx handles packets while in inquiry state: FHS responses from
@@ -176,13 +186,18 @@ func (d *Device) resumeScan(sel *hop.Selector) {
 }
 
 func (d *Device) scheduleScanRetune(sel *hop.Selector) {
-	next := d.Clock.NextTickTime(d.now()+1, 1<<12, 0)
-	d.at(next, func() {
-		if !d.rxBusy && !d.scan.inBackoff && d.ch.Tuned(d) >= 0 {
-			d.rxOn(sel.Scan(d.Clock.CLKN(d.now())))
-		}
-		d.scheduleScanRetune(sel)
-	})
+	d.scanRetuneSel = sel
+	d.tRetune.At(d.Clock.NextTickTime(d.now()+1, 1<<12, 0))
+}
+
+// scanRetune follows the 1.28 s scan-frequency phase while the scan
+// receiver is open, then re-arms itself.
+func (d *Device) scanRetune() {
+	sel := d.scanRetuneSel
+	if !d.rxBusy && !d.scan.inBackoff && d.ch.Tuned(d) >= 0 {
+		d.rxOn(sel.Scan(d.Clock.CLKN(d.now())))
+	}
+	d.scheduleScanRetune(sel)
 }
 
 // inquiryScanRx: IDs heard while discoverable trigger backoff, then an

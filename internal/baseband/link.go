@@ -93,7 +93,8 @@ func (l *Link) QueueLen() int {
 }
 
 // Send queues an upper-layer payload. Payloads longer than the packet
-// type's capacity are split into maximal chunks.
+// type's capacity are split into maximal chunks. On a master, queueing
+// re-arms a long-skipped TX loop (see wakeMaster).
 func (l *Link) Send(data []byte, llid uint8) {
 	maxLen := l.PacketType.MaxPayload()
 	for len(data) > maxLen {
@@ -102,6 +103,7 @@ func (l *Link) Send(data []byte, llid uint8) {
 		llid = LLIDContinue(llid)
 	}
 	l.txq = append(l.txq, outMsg{data: append([]byte(nil), data...), llid: llid})
+	l.dev.wakeMaster()
 }
 
 // LLIDContinue maps a start LLID to its continuation value.

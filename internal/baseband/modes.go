@@ -83,14 +83,22 @@ func (l *Link) Unpark() {
 	l.dev.rescheduleSlaveLoop()
 }
 
-// rescheduleSlaveLoop re-arms the slave listen loop after a mode change
-// (no-op on masters: their scheduler re-evaluates every slot anyway).
+// rescheduleSlaveLoop re-arms the slave listen loop after a mode change.
+// On a master it only wakes a long-skipped TX loop: the mode change may
+// have created work earlier than the parked wake-up deadline.
 func (d *Device) rescheduleSlaveLoop() {
-	if d.isMaster || d.state != StateConnection || d.mlink == nil {
+	if d.isMaster {
+		d.wakeMaster()
 		return
 	}
-	d.gen++   // drop previously scheduled listen windows
-	d.rxOff() // their close events died with the generation bump
+	if d.state != StateConnection || d.mlink == nil {
+		return
+	}
+	d.gen++ // drop previously scheduled closure events
+	for _, t := range []*sim.Timer{d.tSlaveSlot, d.tSlaveCls, d.tSlaveResp, d.tSlaveDone, d.tHoldStep} {
+		t.Stop() // and the timer-armed listen/close/response windows
+	}
+	d.rxOff()
 	d.onRx = d.slaveRx
 	d.onRxStart = d.slaveRxStart
 	d.scheduleSlaveListen(d.now())
@@ -132,7 +140,7 @@ func (d *Device) holdResyncStep() {
 	if sim.Time(next) > l.resyncUntil {
 		next = l.resyncUntil
 	}
-	d.at(next, d.holdResyncStep)
+	d.tHoldStep.At(next)
 }
 
 // resyncSlots is the resync listen window rounded up to whole slots;

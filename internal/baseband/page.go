@@ -21,6 +21,7 @@ type pageScanState struct {
 type pageState struct {
 	target          BDAddr
 	dacSel          *hop.Selector
+	id              *cachedID // pre-assembled ID for the target's LAP
 	est             *btclock.EstimatedClock
 	trainA          bool
 	nextTrainSwitch sim.Time
@@ -47,6 +48,7 @@ func (d *Device) StartPage(target BDAddr, est *btclock.EstimatedClock, timeoutSl
 	d.pg = pageState{
 		target:          target,
 		dacSel:          hop.NewSelector(target.Addr28()),
+		id:              newCachedID(target.LAP),
 		est:             est,
 		trainA:          true,
 		nextTrainSwitch: d.now() + sim.Time(sim.Slots(uint64(d.cfg.NPage*16))),
@@ -56,7 +58,7 @@ func (d *Device) StartPage(target BDAddr, est *btclock.EstimatedClock, timeoutSl
 	}
 	d.onRx = d.pageRx
 	d.armPageDeadline()
-	d.at(d.Clock.NextTickTime(d.now(), 4, 0), d.pageTxSlot)
+	d.tPgSlot.At(d.Clock.NextTickTime(d.now(), 4, 0))
 }
 
 // PageSlots reports how many slots the last completed page procedure
@@ -70,7 +72,7 @@ func (d *Device) armPageDeadline() {
 		d.pageFail()
 		return
 	}
-	d.at(d.pg.deadline, d.pageFail)
+	d.tPgDeadln.At(d.pg.deadline)
 }
 
 // pageFail aborts the page procedure.
@@ -104,7 +106,7 @@ func (d *Device) resumePageTrains() {
 	d.setState(StatePage)
 	d.onRx = d.pageRx
 	d.armPageDeadline()
-	d.at(d.Clock.NextTickTime(d.now(), 4, 0), d.pageTxSlot)
+	d.tPgSlot.At(d.Clock.NextTickTime(d.now(), 4, 0))
 }
 
 // pageTxSlot transmits a two-ID page train step, mirroring the inquiry
@@ -114,7 +116,7 @@ func (d *Device) pageTxSlot() {
 		return
 	}
 	if d.rxBusy {
-		d.after(sim.Slots(2), d.pageTxSlot)
+		d.tPgSlot.Schedule(sim.Slots(2))
 		return
 	}
 	d.rxOff()
@@ -129,26 +131,34 @@ func (d *Device) pageTxSlot() {
 	d.pg.lastX1 = hop.TrainPhase(clke, trainA)
 	d.pg.lastX2 = hop.TrainPhase(clke+1, trainA)
 
-	d.transmit(packet.NewID(d.pg.target.LAP), 0, 0, d.pg.dacSel.Page(clke, trainA))
-	d.after(sim.HalfSlotTicks, func() {
-		if d.rxBusy {
-			return
-		}
-		d.transmit(packet.NewID(d.pg.target.LAP), 0, 0, d.pg.dacSel.Page(d.pg.est.CLKE(d.now()), trainA))
-	})
+	d.transmitID(d.pg.id, d.pg.dacSel.Page(clke, trainA))
+	d.tPgSecond.Schedule(sim.HalfSlotTicks)
 
-	x1, x2 := d.pg.lastX1, d.pg.lastX2
-	d.after(sim.Slots(1)-d.leadTicks(), func() {
-		if !d.rxBusy {
-			d.rxOn(d.pg.dacSel.RespForX(x1))
-		}
-	})
-	d.after(sim.Slots(1)+sim.HalfSlotTicks, func() {
-		if !d.rxBusy {
-			d.rxOn(d.pg.dacSel.RespForX(x2))
-		}
-	})
-	d.after(sim.Slots(2), d.pageTxSlot)
+	d.tPgWin1.Schedule(sim.Slots(1) - d.leadTicks())
+	d.tPgWin2.Schedule(sim.Slots(1) + sim.HalfSlotTicks)
+	d.tPgSlot.Schedule(sim.Slots(2))
+}
+
+// pageSecondID transmits the second page ID half a slot into the step.
+func (d *Device) pageSecondID() {
+	if d.rxBusy {
+		return
+	}
+	d.transmitID(d.pg.id, d.pg.dacSel.Page(d.pg.est.CLKE(d.now()), d.pg.trainA))
+}
+
+// pageRxWin1 opens the response window for the first page ID.
+func (d *Device) pageRxWin1() {
+	if !d.rxBusy {
+		d.rxOn(d.pg.dacSel.RespForX(d.pg.lastX1))
+	}
+}
+
+// pageRxWin2 opens the response window for the second page ID.
+func (d *Device) pageRxWin2() {
+	if !d.rxBusy {
+		d.rxOn(d.pg.dacSel.RespForX(d.pg.lastX2))
+	}
 }
 
 // pageRx handles the slave's ID response while paging.
@@ -321,7 +331,7 @@ func (d *Device) slaveResponse(idTx *channel.Transmission) {
 	d.rxOffForce()
 	x := hop.ScanX(d.Clock.CLKN(idTx.Start))
 	d.at(idTx.Start+sim.Time(sim.Slots(1)), func() {
-		d.transmit(packet.NewID(d.cfg.Addr.LAP), 0, 0, d.ownSel.RespForX(x))
+		d.transmitID(d.idOwn, d.ownSel.RespForX(x))
 	})
 	fhsAt := idTx.Start + sim.Time(sim.Slots(2))
 	d.at(fhsAt-sim.Time(d.leadTicks()), func() {
@@ -353,7 +363,7 @@ func (d *Device) slaveResponse(idTx *channel.Transmission) {
 		d.mlink = l
 		// Acknowledge with an ID one slot after the FHS started.
 		d.at(tx.Start+sim.Time(sim.Slots(1)), func() {
-			d.transmit(packet.NewID(d.cfg.Addr.LAP), 0, 0, d.ownSel.RespForX(x+2))
+			d.transmitID(d.idOwn, d.ownSel.RespForX(x+2))
 			d.after(sim.Microseconds(68), func() {
 				d.startSlaveLoop()
 				d.armSlaveNewConnTimeout()

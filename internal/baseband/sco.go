@@ -63,13 +63,16 @@ func (d *Device) evenSlotsToNextSCO(evenIdx uint32) uint32 {
 	const horizon = 1 << 20
 	best := uint32(horizon)
 	for _, sco := range d.scoLinks {
-		period := uint32(sco.TscoSlots / 2)
+		period := int64(sco.TscoSlots / 2)
 		if period == 0 {
 			continue
 		}
-		gap := (uint32(sco.DscoEven) - (evenIdx + 1)) % period
-		if gap+1 < best {
-			best = gap + 1
+		// Signed arithmetic: an unsigned subtraction would wrap through
+		// 2^32, which is not a multiple of odd periods (Tsco = 6 gave an
+		// off-by-one gap that made the scheduler miss HV3 reservations).
+		gap := ((int64(sco.DscoEven)-int64(evenIdx)-1)%period + period) % period
+		if uint32(gap)+1 < best {
+			best = uint32(gap) + 1
 		}
 	}
 	return best
@@ -95,6 +98,7 @@ func (d *Device) AddSCO(acl *Link, ty packet.Type, tscoSlots, dscoEven int) *SCO
 	validateSCO(ty, tscoSlots)
 	sco := &SCOLink{dev: d, ACL: acl, Type: ty, TscoSlots: tscoSlots, DscoEven: dscoEven}
 	d.scoLinks = append(d.scoLinks, sco)
+	d.wakeMaster() // the new reservation may precede the parked wake-up
 	return sco
 }
 
@@ -146,16 +150,9 @@ func (d *Device) transmitSCOSlot(sco *SCOLink, now sim.Time) {
 	sco.TxFrames++
 
 	respAt := now + sim.Time(sim.Slots(1))
-	d.at(respAt-sim.Time(d.leadTicks()), func() {
-		if !d.rxBusy {
-			d.rxOn(d.chanFreq(d.ownSel, d.Clock.CLK(respAt)))
-		}
-	})
-	d.at(respAt+sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS))), func() {
-		if !d.rxBusy {
-			d.rxOff()
-		}
-	})
+	d.masterRespAt = respAt
+	d.tMasterOpen.At(respAt - sim.Time(d.leadTicks()))
+	d.tMasterCls.At(respAt + sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS))))
 	d.scheduleMasterSlot(respAt + sim.Time(sim.Slots(1)))
 }
 
@@ -179,16 +176,26 @@ func (d *Device) handleSCORx(p *packet.Packet, rxStart sim.Time) {
 	if d.isMaster {
 		return
 	}
-	// Slave: the return voice frame goes in the next slot.
-	respAt := rxStart + sim.Time(sim.Slots(1))
-	d.at(respAt, func() {
-		clk := d.Clock.CLK(d.now())
-		resp := &packet.Packet{
-			AccessLAP: sco.ACL.Master.LAP,
-			Header:    &packet.Header{AMAddr: sco.ACL.AMAddr, Type: sco.Type},
-			Payload:   sco.voiceFrame(),
-		}
-		d.transmit(resp, sco.ACL.Master.UAP, clk, d.chanFreq(sco.ACL.sel, clk))
-		sco.TxFrames++
-	})
+	// Slave: the return voice frame goes in the next slot. The response
+	// reuses the ACL response timer — the scheduler keeps reserved SCO
+	// slots and ACL response slots disjoint, so at most one response is
+	// pending at a time.
+	d.scoRespLink = sco
+	d.tSlaveResp.AtFn(rxStart+sim.Time(sim.Slots(1)), d.fnScoRespond)
+}
+
+// scoRespond transmits the slave's return voice frame.
+func (d *Device) scoRespond() {
+	sco := d.scoRespLink
+	if sco == nil || sco.ACL == nil {
+		return
+	}
+	clk := d.Clock.CLK(d.now())
+	resp := &packet.Packet{
+		AccessLAP: sco.ACL.Master.LAP,
+		Header:    &packet.Header{AMAddr: sco.ACL.AMAddr, Type: sco.Type},
+		Payload:   sco.voiceFrame(),
+	}
+	d.transmit(resp, sco.ACL.Master.UAP, clk, d.chanFreq(sco.ACL.sel, clk))
+	sco.TxFrames++
 }

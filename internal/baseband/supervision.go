@@ -9,7 +9,13 @@ import "repro/internal/sim"
 func (d *Device) checkSupervision(now sim.Time) {
 	budget := sim.Time(sim.Slots(uint64(d.cfg.SupervisionTimeoutSlots)))
 	if d.isMaster {
-		for _, l := range d.links {
+		// Fixed AM_ADDR order, not map order: simultaneous timeouts must
+		// tear down in a deterministic sequence.
+		for am := uint8(1); am <= 7; am++ {
+			l, ok := d.links[am]
+			if !ok {
+				continue
+			}
 			if l.mode == ModePark {
 				continue
 			}

@@ -17,7 +17,11 @@ import (
 	"repro/internal/sim"
 )
 
-// Transmission describes one packet on the air.
+// Transmission describes one packet on the air. Transmissions are
+// pooled by the channel: once the delivery event has run, the node (and
+// its once-allocated delivery closures) is recycled for a later packet,
+// so steady-state traffic does not allocate. Listeners must not retain
+// the pointer past their RxEnd callback.
 type Transmission struct {
 	From     string   // transmitter name, for logs and stats
 	Freq     int      // RF channel 0..78
@@ -26,6 +30,14 @@ type Transmission struct {
 	Bits     *bits.Vec
 	Meta     any  // opaque annotation (packet type) for stats/logs
 	collided bool // set when another transmission overlapped on Freq
+
+	// Pool plumbing: the owning channel, the snapshot of receivers that
+	// were tuned at Start (reused between incarnations), and the two
+	// delivery events, allocated once when the node is first created.
+	ch       *Channel
+	eligible []Listener
+	startFn  sim.Event // RxStart fan-out after the demodulator delay
+	endFn    sim.Event // delivery/collision fan-out at End + delay
 }
 
 // Duration returns the on-air time.
@@ -90,13 +102,21 @@ type Channel struct {
 	cfg Config
 
 	tuned       map[Listener]*tuneState
+	receivers   []*tuneState // same states in registration order
 	active      []*Transmission
+	txFree      []*Transmission // recycled transmission nodes
 	jammers     []Jammer
 	stats       Stats
 	onCollision func(existing, incoming *Transmission)
 }
 
+// tuneState tracks one listener's receiver. The struct persists across
+// Tune/Untune cycles (Untune only clears `on`), so the per-slot
+// receiver windows of every device reuse one allocation — and Transmit
+// scans the stable receivers slice instead of iterating a map.
 type tuneState struct {
+	l     Listener
+	on    bool
 	freq  int
 	since sim.Time
 	busy  *Transmission // packet currently being received
@@ -166,22 +186,29 @@ func (c *Channel) Tune(l Listener, freq int) {
 	}
 	st := c.tuned[l]
 	if st == nil {
-		st = &tuneState{}
+		st = &tuneState{l: l}
 		c.tuned[l] = st
-	} else if st.freq == freq && st.busy == nil {
+		c.receivers = append(c.receivers, st)
+	} else if st.on && st.freq == freq && st.busy == nil {
 		return // already listening idle there; keep the original since-time
 	}
+	st.on = true
 	st.freq = freq
 	st.since = c.k.Now()
 	st.busy = nil
 }
 
 // Untune stops l's receiver.
-func (c *Channel) Untune(l Listener) { delete(c.tuned, l) }
+func (c *Channel) Untune(l Listener) {
+	if st := c.tuned[l]; st != nil {
+		st.on = false
+		st.busy = nil
+	}
+}
 
 // Tuned reports the frequency l listens on, or -1.
 func (c *Channel) Tuned(l Listener) int {
-	if st, ok := c.tuned[l]; ok {
+	if st := c.tuned[l]; st != nil && st.on {
 		return st.freq
 	}
 	return -1
@@ -191,19 +218,23 @@ func (c *Channel) Tuned(l Listener) int {
 // be a Listener; it never hears itself). Delivery happens at the end of
 // the packet plus the demodulator delay, to every listener that was
 // already tuned to freq when the first bit arrived and stayed tuned.
+//
+// The returned pointer is only valid until the delivery event at
+// End + Delay: the node is recycled afterwards (fields zeroed or
+// reused by a later packet). Read what you need synchronously; do not
+// retain it.
 func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transmission {
 	if v.Len() == 0 {
 		panic("channel: empty transmission")
 	}
 	now := c.k.Now()
-	tx := &Transmission{
-		From:  from,
-		Freq:  freq,
-		Start: now,
-		End:   now + sim.Time(v.Len()*sim.BitTicks),
-		Bits:  v,
-		Meta:  meta,
-	}
+	tx := c.allocTx()
+	tx.From = from
+	tx.Freq = freq
+	tx.Start = now
+	tx.End = now + sim.Time(v.Len()*sim.BitTicks)
+	tx.Bits = v
+	tx.Meta = meta
 	c.stats.Transmissions++
 	c.stats.PerFreq[freq].Transmissions++
 	if c.jammed(freq) {
@@ -239,40 +270,70 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 	// already locked onto an earlier packet stays with it — a colliding
 	// newcomer corrupts that packet rather than hijacking the correlator,
 	// and at an exact end/start boundary the turnaround is a miss.
-	eligible := make([]Listener, 0, len(c.tuned))
-	for l, st := range c.tuned {
-		if st.freq == freq && st.since <= now && st.busy == nil && l.Name() != from {
-			eligible = append(eligible, l)
+	for _, st := range c.receivers {
+		if st.on && st.freq == freq && st.since <= now && st.busy == nil && st.l.Name() != from {
+			tx.eligible = append(tx.eligible, st.l)
 			st.busy = tx
 		}
 	}
-	// Deterministic order regardless of map iteration.
-	sortListeners(eligible)
+	// Deterministic order regardless of registration order.
+	sortListeners(tx.eligible)
 
-	c.k.Schedule(c.cfg.Delay, func() {
-		for _, l := range eligible {
-			if st, ok := c.tuned[l]; ok && st.busy == tx {
-				l.RxStart(tx)
-			}
-		}
-	})
-	c.k.Schedule(sim.Duration(tx.End-now)+c.cfg.Delay, func() {
-		for _, l := range eligible {
-			st, ok := c.tuned[l]
-			if !ok || st.busy != tx || st.freq != freq {
-				continue // retuned or stopped mid-packet
-			}
-			st.busy = nil
-			if tx.collided {
-				l.RxEnd(tx, nil, true)
-				continue
-			}
-			c.stats.Deliveries++
-			c.stats.PerFreq[freq].Deliveries++
-			l.RxEnd(tx, c.corrupt(tx.Bits), false)
-		}
-	})
+	c.k.Schedule(c.cfg.Delay, tx.startFn)
+	c.k.Schedule(sim.Duration(tx.End-now)+c.cfg.Delay, tx.endFn)
 	return tx
+}
+
+// allocTx takes a transmission node off the free list or creates one,
+// wiring its two delivery closures exactly once per node.
+func (c *Channel) allocTx() *Transmission {
+	if n := len(c.txFree); n > 0 {
+		tx := c.txFree[n-1]
+		c.txFree = c.txFree[:n-1]
+		return tx
+	}
+	tx := &Transmission{ch: c}
+	tx.startFn = tx.deliverStart
+	tx.endFn = tx.deliverEnd
+	return tx
+}
+
+// deliverStart fans RxStart out to the receivers still locked on tx.
+func (tx *Transmission) deliverStart() {
+	for _, l := range tx.eligible {
+		if st := tx.ch.tuned[l]; st != nil && st.busy == tx {
+			l.RxStart(tx)
+		}
+	}
+}
+
+// deliverEnd fans the final bits (or the collision verdict) out to the
+// receivers that stayed tuned through the whole packet, then recycles
+// the transmission node.
+func (tx *Transmission) deliverEnd() {
+	c := tx.ch
+	for _, l := range tx.eligible {
+		st := c.tuned[l]
+		if st == nil || st.busy != tx || !st.on || st.freq != tx.Freq {
+			continue // retuned or stopped mid-packet
+		}
+		st.busy = nil
+		if tx.collided {
+			l.RxEnd(tx, nil, true)
+			continue
+		}
+		c.stats.Deliveries++
+		c.stats.PerFreq[tx.Freq].Deliveries++
+		l.RxEnd(tx, c.corrupt(tx.Bits), false)
+	}
+	// The packet has left the air (End <= now), so it can no longer
+	// collide with anything; drop it from the active list and recycle.
+	c.pruneActive(c.k.Now())
+	tx.Bits = nil
+	tx.Meta = nil
+	tx.collided = false
+	tx.eligible = tx.eligible[:0]
+	c.txFree = append(c.txFree, tx)
 }
 
 // corrupt applies the BER to a copy of the transmitted bits.

@@ -383,14 +383,17 @@ func TestPanics(t *testing.T) {
 }
 
 func TestTransmissionAccessors(t *testing.T) {
+	// Transmission nodes are recycled after delivery, so the accessors
+	// must be read before the kernel runs past the packet's end.
 	k, c := setup(0, 0)
-	var tx *Transmission
-	k.Schedule(3, func() { tx = c.Transmit("m", 1, vec(10), "meta") })
+	k.Schedule(3, func() {
+		tx := c.Transmit("m", 1, vec(10), "meta")
+		if tx.Duration() != 10*sim.BitTicks {
+			t.Errorf("duration = %v", tx.Duration())
+		}
+		if tx.Meta != "meta" || tx.From != "m" || tx.Freq != 1 {
+			t.Error("metadata wrong")
+		}
+	})
 	k.Run()
-	if tx.Duration() != 10*sim.BitTicks {
-		t.Fatalf("duration = %v", tx.Duration())
-	}
-	if tx.Meta != "meta" || tx.From != "m" || tx.Freq != 1 {
-		t.Fatal("metadata wrong")
-	}
 }

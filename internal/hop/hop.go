@@ -27,30 +27,21 @@ var (
 )
 
 // perm5 applies the 14-stage butterfly permutation to the 5-bit input z
-// under the 14-bit control word (pHigh 5 bits, pLow 9 bits).
+// under the 14-bit control word (pHigh 5 bits, pLow 9 bits). The stages
+// run directly on the packed bits — a conditional exchange of bits a
+// and b is an XOR with (1<<a | 1<<b) when they differ — so the hot
+// connection-state hop selection needs no scratch arrays.
 func perm5(z uint32, pHigh, pLow uint32) uint32 {
-	var p [14]uint32
-	for i := 0; i < 9; i++ {
-		p[i] = (pLow >> i) & 1
-	}
-	for i := 0; i < 5; i++ {
-		p[i+9] = (pHigh >> i) & 1
-	}
-	var zb [5]uint32
-	for i := 0; i < 5; i++ {
-		zb[i] = (z >> i) & 1
-	}
+	ctl := pLow&0x1FF | (pHigh&0x1F)<<9 // control bit i at position i
 	for i := 13; i >= 0; i-- {
-		if p[i] == 1 {
+		if ctl>>uint(i)&1 == 1 {
 			a, b := perm5Index1[13-i], perm5Index2[13-i]
-			zb[a], zb[b] = zb[b], zb[a]
+			if (z>>uint(a))&1 != (z>>uint(b))&1 {
+				z ^= 1<<uint(a) | 1<<uint(b)
+			}
 		}
 	}
-	var out uint32
-	for i := 0; i < 5; i++ {
-		out |= zb[i] << i
-	}
-	return out
+	return z & 0x1F
 }
 
 // bank maps the kernel's final adder output to an RF channel: even
@@ -66,6 +57,12 @@ type Selector struct {
 	c1 uint32 // address bits 8,6,4,2,0
 	d1 uint32 // address bits 18-10
 	e  uint32 // address bits 13,11,9,7,5,3,1
+
+	// trainCache memoises the page/inquiry/scan/response selections,
+	// which — unlike the basic sequence — feed the kernel nothing but
+	// the 5-bit phase X and Y1, so each of the 64 inputs is computed at
+	// most once per selector. Entries store frequency+1 (0 = unfilled).
+	trainCache [NumScanFreqs][2]int8
 }
 
 // NewSelector precomputes the kernel's address-derived inputs.
@@ -94,6 +91,17 @@ func (s *Selector) kernel(x, y1, a, b, c, d, e, f uint32) int {
 	z := ((x + a) % 32) ^ b
 	perm := perm5(z, (y1*0x1F)^c, d)
 	return bank((perm + e + f + 32*y1) % NumChannels)
+}
+
+// trainKernel runs the selection box for the clock-independent page /
+// inquiry / scan / response mappings (address inputs un-XORed, F = 0)
+// through the per-phase cache.
+func (s *Selector) trainKernel(x, y1 uint32) int {
+	slot := &s.trainCache[x%NumScanFreqs][y1&1]
+	if *slot == 0 {
+		*slot = int8(s.kernel(x%NumScanFreqs, y1&1, s.a1, s.b, s.c1, s.d1, s.e, 0) + 1)
+	}
+	return int(*slot) - 1
 }
 
 // Basic returns the connection-state (basic) hopping frequency for the
@@ -128,28 +136,27 @@ func trainX(clk uint32, trainA bool) uint32 {
 // Page returns the frequency the paging master transmits its ID on, from
 // its estimate CLKE of the target's clock.
 func (s *Selector) Page(clke uint32, trainA bool) int {
-	return s.kernel(trainX(clke, trainA), 0, s.a1, s.b, s.c1, s.d1, s.e, 0)
+	return s.trainKernel(trainX(clke, trainA), 0)
 }
 
 // PageResp returns the frequency of the slave's page response (and the
 // master's listening frequency) paired with the train phase of the ID
 // that elicited it: same X, Y1 = 1.
 func (s *Selector) PageResp(clke uint32, trainA bool) int {
-	return s.kernel(trainX(clke, trainA), 1, s.a1, s.b, s.c1, s.d1, s.e, 0)
+	return s.trainKernel(trainX(clke, trainA), 1)
 }
 
 // Scan returns the page-scan (or, with the GIAC selector, inquiry-scan)
 // listening frequency: X = CLKN16-12, which moves every 1.28 s.
 func (s *Selector) Scan(clkn uint32) int {
-	x := (clkn >> 12) & 0x1F
-	return s.kernel(x, 0, s.a1, s.b, s.c1, s.d1, s.e, 0)
+	return s.trainKernel((clkn>>12)&0x1F, 0)
 }
 
 // RespForX returns the response frequency for an explicit train phase;
 // the scanner uses its own scan phase here, which equals the sender's
 // train phase whenever the ID was heard at all.
 func (s *Selector) RespForX(x uint32) int {
-	return s.kernel(x%32, 1, s.a1, s.b, s.c1, s.d1, s.e, 0)
+	return s.trainKernel(x, 1)
 }
 
 // ScanX returns the scan phase for a native clock, exported so the scan

@@ -138,12 +138,32 @@ func (s Sweep[P, R]) Run(cfg Config) [][]R {
 		progress(s.Name, int(done.Add(int64(n))), total)
 	}
 
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers <= Serial {
+		workers = Serial
+	}
+
 	// One flat trial index per (point, replica); a job is a batch of
-	// consecutive indices claimed with an atomic cursor.
+	// consecutive indices claimed with an atomic cursor. When neither
+	// the config nor the package default pins a batch size, size jobs so
+	// each worker claims the cursor a handful of times: per-replica jobs
+	// make very short trials pay an atomic round-trip and a shared
+	// cache-line write into the results rows for every replica, which is
+	// measurable contention at micro-trial rates. Batching by consecutive
+	// indices also keeps each results row written by one worker. The
+	// (point, replica) indexing is untouched, so the output is identical.
 	batch := cfg.Jobs
 	if batch < 1 {
 		if batch = int(defaultJobs.Load()); batch < 1 {
-			batch = 1
+			if workers > 0 && total > workers {
+				batch = total / (workers * 8)
+			}
+			if batch < 1 {
+				batch = 1
+			}
 		}
 	}
 	runRange := func(start, end int) {
@@ -154,13 +174,6 @@ func (s Sweep[P, R]) Run(cfg Config) [][]R {
 		report(end - start)
 	}
 
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = DefaultWorkers()
-	}
-	if workers <= Serial {
-		workers = Serial
-	}
 	if workers == Serial {
 		for start := 0; start < total; start += batch {
 			runRange(start, min(start+batch, total))

@@ -6,10 +6,14 @@
 // integer. Events scheduled for the same tick fire in the order they were
 // scheduled (a total order that plays the role of SystemC delta cycles),
 // which makes every simulation run bit-for-bit reproducible.
+//
+// The scheduler is allocation-free in steady state: event nodes live in a
+// pool indexed by the priority queue, and cancelled or fired slots are
+// recycled under a generation tag so stale EventIDs can never touch a
+// reused slot. See ARCHITECTURE.md, "Performance model".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -31,6 +35,10 @@ const (
 	// SlotTicks is one 625 µs Bluetooth time slot.
 	SlotTicks = 1250
 )
+
+// TimeMax is the end-of-time sentinel: Run executes until the queue
+// drains by running until this limit.
+const TimeMax = Time(^uint64(0))
 
 // Microseconds converts a microsecond count to a Duration.
 func Microseconds(us uint64) Duration { return Duration(us * TicksPerMicrosecond) }
@@ -56,55 +64,48 @@ func (t Time) String() string {
 // Event is a callback scheduled to run at a simulation time.
 type Event func()
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. An ID
+// packs the pool slot of the event with the slot's generation at
+// scheduling time, so an ID held past its event's firing (or
+// cancellation) is recognised as stale even after the slot is recycled.
 type EventID uint64
 
+// The zero EventID is never issued (slots are encoded +1), so callers
+// can use 0 as "no event pending".
+
+const (
+	evFree      = iota // slot is on the free list
+	evPending          // scheduled, will fire
+	evCancelled        // still in the queue, dropped when popped
+)
+
 type scheduledEvent struct {
-	at     Time
-	seq    uint64 // tie-break: schedule order
-	id     EventID
-	fn     Event
-	cancel bool
-	index  int // heap index
+	at    Time
+	seq   uint64 // tie-break: schedule order
+	fn    Event
+	gen   uint32 // slot generation, bumped on every release
+	state uint8
 }
 
-type eventQueue []*scheduledEvent
+func makeID(slot int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(uint32(slot+1)))
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*scheduledEvent)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// decodeID splits an EventID into pool slot and generation.
+func decodeID(id EventID) (slot int32, gen uint32) {
+	return int32(uint32(id)) - 1, uint32(id >> 32)
 }
 
 // Kernel is the simulation scheduler. The zero value is not usable; create
 // one with NewKernel.
 type Kernel struct {
 	now       Time
-	queue     eventQueue
-	pending   map[EventID]*scheduledEvent
-	cancelled int // cancelled entries still sitting in queue
+	nodes     []scheduledEvent // event pool; queue entries index into it
+	free      []int32          // recycled pool slots
+	queue     []int32          // binary min-heap over (at, seq)
+	live      int              // pending (not cancelled) events in queue
+	cancelled int              // cancelled entries still sitting in queue
 	nextSeq   uint64
-	nextID    EventID
 	running   bool
 	stopped   bool
 	tracers   []Tracer
@@ -112,14 +113,35 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{pending: make(map[EventID]*scheduledEvent)}
+	return &Kernel{}
 }
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (k *Kernel) Pending() int { return len(k.pending) }
+func (k *Kernel) Pending() int { return k.live }
+
+// alloc takes a pool slot off the free list (or grows the pool).
+func (k *Kernel) alloc() int32 {
+	if n := len(k.free); n > 0 {
+		slot := k.free[n-1]
+		k.free = k.free[:n-1]
+		return slot
+	}
+	k.nodes = append(k.nodes, scheduledEvent{})
+	return int32(len(k.nodes) - 1)
+}
+
+// release recycles a pool slot, bumping its generation so any EventID
+// still referring to it is recognised as stale.
+func (k *Kernel) release(slot int32) {
+	n := &k.nodes[slot]
+	n.fn = nil // drop the closure reference eagerly
+	n.gen++
+	n.state = evFree
+	k.free = append(k.free, slot)
+}
 
 // Schedule runs fn after delay ticks. A delay of zero fires fn later in
 // the current tick, after all previously scheduled same-time events.
@@ -127,12 +149,17 @@ func (k *Kernel) Schedule(delay Duration, fn Event) EventID {
 	if fn == nil {
 		panic("sim: Schedule called with nil event")
 	}
+	at := k.now + Time(delay)
+	if at < k.now {
+		panic(fmt.Sprintf("sim: Schedule(%d) overflows the time axis (now %v)", uint64(delay), k.now))
+	}
+	slot := k.alloc()
 	k.nextSeq++
-	k.nextID++
-	ev := &scheduledEvent{at: k.now + Time(delay), seq: k.nextSeq, id: k.nextID, fn: fn}
-	heap.Push(&k.queue, ev)
-	k.pending[ev.id] = ev
-	return ev.id
+	n := &k.nodes[slot]
+	n.at, n.seq, n.fn, n.state = at, k.nextSeq, fn, evPending
+	k.push(slot)
+	k.live++
+	return makeID(slot, n.gen)
 }
 
 // At runs fn at absolute time t, which must not be in the past.
@@ -151,12 +178,17 @@ func (k *Kernel) At(t Time, fn Event) EventID {
 // cancel-heavy workloads (supervision timeouts re-armed on every packet)
 // keep the heap proportional to the live event count.
 func (k *Kernel) Cancel(id EventID) bool {
-	ev, ok := k.pending[id]
-	if !ok {
+	slot, gen := decodeID(id)
+	if slot < 0 || int(slot) >= len(k.nodes) {
 		return false
 	}
-	ev.cancel = true
-	delete(k.pending, id)
+	n := &k.nodes[slot]
+	if n.state != evPending || n.gen != gen {
+		return false
+	}
+	n.state = evCancelled
+	n.fn = nil
+	k.live--
 	k.cancelled++
 	if k.cancelled > len(k.queue)/2 && len(k.queue) >= minCompactLen {
 		k.compact()
@@ -172,21 +204,124 @@ const minCompactLen = 64
 // untouched: the heap invariant is re-established over the same (at,
 // seq) keys, so compaction can never change the event schedule.
 func (k *Kernel) compact() {
-	live := k.queue[:0]
-	for _, ev := range k.queue {
-		if !ev.cancel {
-			live = append(live, ev)
+	liveQ := k.queue[:0]
+	for _, slot := range k.queue {
+		if k.nodes[slot].state == evPending {
+			liveQ = append(liveQ, slot)
+		} else {
+			k.release(slot)
 		}
 	}
-	for i := len(live); i < len(k.queue); i++ {
-		k.queue[i] = nil
+	k.queue = liveQ
+	for i := len(k.queue)/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
 	}
-	k.queue = live
-	for i, ev := range k.queue {
-		ev.index = i
-	}
-	heap.Init(&k.queue)
 	k.cancelled = 0
+}
+
+// less orders queue entries by (at, seq): earlier time first, then
+// schedule order — the same-tick total order that stands in for SystemC
+// delta cycles.
+func (k *Kernel) less(a, b int32) bool {
+	na, nb := &k.nodes[a], &k.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+func (k *Kernel) push(slot int32) {
+	k.queue = append(k.queue, slot)
+	// Sift up.
+	q := k.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && k.less(q[right], q[left]) {
+			smallest = right
+		}
+		if !k.less(q[smallest], q[i]) {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+}
+
+// pop removes and returns the head of the queue (which must not be
+// empty).
+func (k *Kernel) pop() int32 {
+	q := k.queue
+	head := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	k.queue = q[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	return head
+}
+
+// popLive is the single pop path shared by RunUntil and Step: it drops
+// (and recycles) cancelled entries at the head of the queue and pops the
+// next live event, returning its pool slot or -1 when the queue is
+// empty. Keeping one implementation means the cancelled-counter
+// bookkeeping cannot drift between the two run loops.
+func (k *Kernel) popLive() int32 {
+	for len(k.queue) > 0 {
+		slot := k.pop()
+		if k.nodes[slot].state != evPending {
+			k.cancelled--
+			k.release(slot)
+			continue
+		}
+		return slot
+	}
+	return -1
+}
+
+// peekLive drops cancelled entries at the head and returns the pool slot
+// of the next live event without removing it (-1 when empty).
+func (k *Kernel) peekLive() int32 {
+	for len(k.queue) > 0 {
+		head := k.queue[0]
+		if k.nodes[head].state == evPending {
+			return head
+		}
+		k.pop()
+		k.cancelled--
+		k.release(head)
+	}
+	return -1
+}
+
+// fire pops the event in slot off the bookkeeping, advances the clock
+// and runs the callback. The slot is released before the callback runs,
+// so cancelling the firing event's own ID from within it is a no-op.
+func (k *Kernel) fire(slot int32) {
+	n := &k.nodes[slot]
+	k.now = n.at
+	fn := n.fn
+	k.live--
+	k.release(slot)
+	fn()
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
@@ -194,7 +329,7 @@ func (k *Kernel) Stop() { k.stopped = true }
 
 // Run executes events until the queue drains or Stop is called. It
 // returns the final simulation time.
-func (k *Kernel) Run() Time { return k.RunUntil(Time(^uint64(0))) }
+func (k *Kernel) Run() Time { return k.RunUntil(TimeMax) }
 
 // RunUntil executes events with timestamps <= limit (or until Stop). The
 // simulation clock is left at min(limit, time of last event) so that
@@ -206,39 +341,34 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	k.running = true
 	k.stopped = false
 	defer func() { k.running = false }()
-	for len(k.queue) > 0 && !k.stopped {
-		ev := k.queue[0]
-		if ev.at > limit {
+	for !k.stopped {
+		head := k.peekLive()
+		if head < 0 || k.nodes[head].at > limit {
 			break
 		}
-		heap.Pop(&k.queue)
-		if ev.cancel {
-			k.cancelled--
-			continue
-		}
-		delete(k.pending, ev.id)
-		k.now = ev.at
-		ev.fn()
+		k.fire(k.pop())
 	}
-	if k.now < limit && limit != Time(^uint64(0)) {
+	if k.now < limit && limit != TimeMax {
 		k.now = limit
 	}
 	return k.now
 }
 
 // Step executes exactly one event (skipping cancelled ones) and reports
-// whether an event ran.
+// whether an event ran. Running() is true for the duration of the
+// callback, exactly as under RunUntil.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*scheduledEvent)
-		if ev.cancel {
-			k.cancelled--
-			continue
-		}
-		delete(k.pending, ev.id)
-		k.now = ev.at
-		ev.fn()
-		return true
+	slot := k.popLive()
+	if slot < 0 {
+		return false
 	}
-	return false
+	prev := k.running
+	k.running = true
+	defer func() { k.running = prev }()
+	k.fire(slot)
+	return true
 }
+
+// Running reports whether the kernel is currently inside RunUntil —
+// i.e. whether the caller is executing from within an event.
+func (k *Kernel) Running() bool { return k.running }

@@ -1,0 +1,91 @@
+#!/bin/sh
+# bench_compare.sh <raw-bench-output.txt> — warn-only trajectory check:
+# compares a fresh `go test -bench` run against the newest committed
+# bench/BENCH_*.json and prints per-benchmark deltas for ns/op and for
+# the replicas/s throughput metrics, flagging regressions beyond the
+# noise threshold. Always exits 0 — single-iteration smoke runs on
+# shared CI machines are far too noisy to gate a merge; the point is
+# that a regression is *visible* in the job log, not that it blocks.
+#
+# If benchstat is available the raw benchstat comparison is appended
+# (the committed JSON preserves benchmark-format lines for exactly
+# this), but the awk delta table never requires it.
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 <raw-bench-output.txt>" >&2
+    exit 2
+fi
+# Resolve before the cd below so relative paths keep working from any
+# invocation directory.
+case $1 in
+/*) new_raw=$1 ;;
+*) new_raw=$(pwd)/$1 ;;
+esac
+cd "$(dirname "$0")/.."
+
+base=$(ls -1 bench/BENCH_*.json 2>/dev/null | grep -v -- '-dirty' | tail -1 || true)
+if [ -z "$base" ]; then
+    base=$(ls -1 bench/BENCH_*.json 2>/dev/null | tail -1 || true)
+fi
+if [ -z "$base" ]; then
+    echo "bench_compare: no committed bench/BENCH_*.json baseline; skipping"
+    exit 0
+fi
+echo "bench_compare: baseline $base"
+
+old_lines=$(mktemp)
+trap 'rm -f "$old_lines"' EXIT
+# Extract the preserved benchmark-format lines from the JSON without
+# requiring jq: each line entry is a quoted string in the "lines" array.
+awk '
+/"lines": \[/ { in_lines = 1; next }
+in_lines && /^  \]/ { in_lines = 0 }
+in_lines {
+    s = $0
+    sub(/^[ ]*"/, "", s); sub(/",?$/, "", s)
+    gsub(/\\t/, "\t", s); gsub(/\\"/, "\"", s); gsub(/\\\\/, "\\", s)
+    print s
+}' "$base" > "$old_lines"
+
+# Join old and new per benchmark name and print the delta table.
+awk '
+/^Benchmark/ && NF >= 2 {
+    name = $1
+    nsop = ""
+    rps = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "replicas/s") rps = $i
+    }
+    if (FILENAME == ARGV[1]) { oldns[name] = nsop; oldrps[name] = rps }
+    else { newns[name] = nsop; newrps[name] = rps; if (!(name in seen)) { order[n++] = name; seen[name] = 1 } }
+}
+END {
+    printf "%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    warned = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in oldns) || oldns[name] == "" || newns[name] == "") continue
+        d = (newns[name] - oldns[name]) / oldns[name] * 100
+        flag = ""
+        # Smoke runs are single-iteration: only yell past 25%.
+        if (d > 25) { flag = "  <-- slower"; warned = 1 }
+        printf "%-52s %14d %14d %+7.1f%%%s\n", name, oldns[name], newns[name], d, flag
+        if (oldrps[name] != "" && newrps[name] != "") {
+            r = (newrps[name] - oldrps[name]) / oldrps[name] * 100
+            rflag = ""
+            if (r < -25) { rflag = "  <-- fewer replicas/s"; warned = 1 }
+            printf "%-52s %14.1f %14.1f %+7.1f%% replicas/s%s\n", "", oldrps[name], newrps[name], r, rflag
+        }
+    }
+    if (warned) print "\nbench_compare: WARNING - possible perf regression vs committed baseline (warn-only; see deltas above)"
+    else print "\nbench_compare: no regression beyond the 25% noise threshold"
+}' "$old_lines" "$new_raw"
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo
+    echo "--- benchstat ---"
+    benchstat "$old_lines" "$new_raw" || true
+fi
+exit 0

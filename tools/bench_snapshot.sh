@@ -1,26 +1,48 @@
 #!/bin/sh
-# bench_snapshot.sh [name] — capture one perf-trajectory snapshot into
-# bench/: runs the benchmark smoke suite (-benchtime 1x, the same
-# invocation as the CI bench job) and converts the output to
+# bench_snapshot.sh [--allow-dirty] [name] — capture one perf-trajectory
+# snapshot into bench/: runs the benchmark smoke suite (-benchtime 1x,
+# the same invocation as the CI bench job) and converts the output to
 # bench/BENCH_<name>.json via tools/bench_to_json.sh.
 #
 # CI uploads the same JSON as a workflow artifact, but artifacts do not
 # accumulate where the repo can see them — committing the bench/ file
 # is what makes the trajectory visible in-tree (see EXPERIMENTS.md,
-# "Perf trajectory"). <name> defaults to the current short commit sha,
-# with a "-dirty" suffix when the working tree has uncommitted changes
-# (i.e. the snapshot measures a tree that is not exactly that commit).
+# "Perf trajectory"). <name> defaults to the current short commit sha.
+#
+# A dirty worktree is refused by default: a snapshot stamped with a sha
+# whose code it does not measure poisons the trajectory baseline (the
+# repo once carried only a *-dirty snapshot, so nothing could be
+# compared against cleanly). Pass --allow-dirty to override for local
+# experiments; the file is then suffixed "-dirty" so it can never be
+# mistaken for a commit's figures.
 set -eu
 cd "$(dirname "$0")/.."
+
+allow_dirty=0
+if [ "${1:-}" = "--allow-dirty" ]; then
+    allow_dirty=1
+    shift
+fi
+
+# Porcelain (not diff --quiet) so untracked files also count as dirty:
+# a snapshot must not claim a sha its code does not match.
+dirty=""
+if [ -n "$(git status --porcelain)" ]; then
+    dirty=1
+fi
 
 name="${1:-}"
 if [ -z "$name" ]; then
     name=$(git rev-parse --short HEAD)
-    # Porcelain (not diff --quiet) so untracked files also count as
-    # dirty: the snapshot must not claim a sha its code does not match.
-    if [ -n "$(git status --porcelain)" ]; then
+    if [ -n "$dirty" ]; then
         name="${name}-dirty"
     fi
+fi
+
+if [ -n "$dirty" ] && [ "$allow_dirty" != 1 ]; then
+    echo "bench_snapshot.sh: working tree is dirty; commit first or pass --allow-dirty" >&2
+    git status --porcelain | head >&2
+    exit 1
 fi
 
 mkdir -p bench
