@@ -105,6 +105,9 @@ func (d *Device) scheduleMasterIdle(now sim.Time) {
 		return
 	}
 	d.masterParked = true
+	// The skip is a proof that nothing leaves this antenna before wake;
+	// publish it so quiet listeners can skip their windows too.
+	d.quiet.Promise(wake)
 	d.scheduleMasterSlot(wake)
 }
 
@@ -127,8 +130,8 @@ func (d *Device) masterNextWork(now sim.Time) (sim.Time, bool) {
 	budget := sim.Time(sim.Slots(uint64(d.cfg.SupervisionTimeoutSlots)))
 	tpoll := sim.Time(sim.Slots(uint64(d.cfg.TpollSlots)))
 	for am := uint8(1); am <= 7; am++ {
-		l, ok := d.links[am]
-		if !ok {
+		l := d.links[am]
+		if l == nil {
 			continue
 		}
 		superRef := l.lastHeardAt
@@ -169,7 +172,7 @@ func (d *Device) masterNextWork(now sim.Time) (sim.Time, bool) {
 	}
 	if period := uint32(d.beaconEverySlots / 2); period > 0 {
 		for _, l := range d.links {
-			if l.mode == ModePark {
+			if l != nil && l.mode == ModePark {
 				idx := evenIdx + 1
 				if r := idx % period; r != 0 {
 					idx += period - r
@@ -198,6 +201,10 @@ func (d *Device) wakeMaster() {
 	if t == d.now() && !d.k.Running() {
 		t = d.nextCLKSlot(d.now() + 1)
 	}
+	// Revoke the parked promise before arming the slot: the shrink
+	// notification resumes any bulk-skipped listeners synchronously, so
+	// their windows are re-armed before the transmit opportunity fires.
+	d.quiet.Promise(t)
 	d.tMasterSlot.At(t)
 }
 
@@ -213,8 +220,8 @@ func (d *Device) pickLink(now sim.Time) *Link {
 	var withData *Link
 	for i := uint8(0); i < 7; i++ {
 		am := (d.lastServedAM+i)%7 + 1
-		l, ok := d.links[am]
-		if !ok {
+		l := d.links[am]
+		if l == nil {
 			continue
 		}
 		switch l.mode {
@@ -272,14 +279,14 @@ func (d *Device) masterRx(tx *channel.Transmission, rx *bits.Vec, collided bool)
 	d.Counters.RxPackets++
 	d.observeFreq(tx.Freq, true)
 	if p.Header.Type.IsSCO() {
-		if l, ok := d.links[p.Header.AMAddr]; ok {
+		if l := d.links[p.Header.AMAddr]; l != nil {
 			l.lastHeardAt = d.now()
 		}
 		d.handleSCORx(p, tx.Start)
 		return
 	}
-	l, ok := d.links[p.Header.AMAddr]
-	if !ok {
+	l := d.links[p.Header.AMAddr]
+	if l == nil {
 		return
 	}
 	l.lastHeardAt = d.now()
@@ -374,6 +381,7 @@ func (d *Device) nextSniffAnchor(from sim.Time) sim.Time {
 
 // slaveListenSlot opens the listen window at a master transmit slot.
 func (d *Device) slaveListenSlot() {
+	d.endListenSkip() // a bulk skip, if any, ends at its wake-up window
 	l := d.mlink
 	if d.state != StateConnection || l == nil {
 		return
@@ -384,6 +392,9 @@ func (d *Device) slaveListenSlot() {
 	}
 	if d.rxBusy || d.txCount > 0 {
 		d.scheduleSlaveListen(d.now() + 1)
+		return
+	}
+	if l.mode == ModeActive && d.tryListenSkip(l) {
 		return
 	}
 	// The window opened leadTicks early; the slot boundary is next.

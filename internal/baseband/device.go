@@ -116,15 +116,26 @@ type Device struct {
 	// Link.Send and wakeMaster).
 	masterParked bool
 
+	// quiet is this device's standing spontaneous-TX declaration in the
+	// channel's quiet-horizon bookkeeping (see channel.QuietUntil); the
+	// listenSkip fields track a bulk-skipped slave listen schedule
+	// (see quiescence.go).
+	quiet          *channel.TxPromise
+	listenSkipping bool
+	skipStart      sim.Time
+	skipK          int
+
 	// Connection state.
 	isMaster         bool
-	lastServedAM     uint8           // round-robin anchor for pickLink
-	links            map[uint8]*Link // master: AM_ADDR -> link
-	mlink            *Link           // slave: the link to the master
-	beaconEverySlots int             // park beacon period (master)
-	scoLinks         []*SCOLink      // reserved voice channels
-	afhMap           *hop.ChannelMap // adaptive hop set (nil = all 79)
-	assess           Assessment      // per-frequency reception tallies
+	lastServedAM     uint8                // round-robin anchor for pickLink
+	links            [8]*Link             // master: indexed by AM_ADDR (1-7)
+	nLinks           int                  // live entries in links
+	mlink            *Link                // slave: the link to the master
+	beaconEverySlots int                  // park beacon period (master)
+	scoLinks         []*SCOLink           // reserved voice channels
+	ctlCache         map[ctlKey]*cachedID // assembled NULL/POLL patterns
+	afhMap           *hop.ChannelMap      // adaptive hop set (nil = all 79)
+	assess           Assessment           // per-frequency reception tallies
 
 	// OnConnected fires when a connection completes (both roles).
 	OnConnected func(l *Link)
@@ -186,8 +197,11 @@ func New(k *sim.Kernel, ch *channel.Channel, name string, cfg Config) *Device {
 		giacSel: hop.NewSelector(hop.Addr28(access.GIAC, 0)),
 		TxMeter: power.NewMeter(k),
 		RxMeter: power.NewMeter(k),
-		links:   make(map[uint8]*Link),
 	}
+	// A fresh device is in standby: it transmits nothing until a
+	// procedure starts (and every procedure start goes through setState,
+	// which re-declares the promise).
+	d.quiet = ch.NewTxPromise(sim.TimeMax)
 	d.SigState = sim.NewString(k, name+".state", StateStandby.String())
 	d.SigTxOn = sim.NewBool(k, name+".enable_tx_RF", false)
 	d.SigRxOn = sim.NewBool(k, name+".enable_rx_RF", false)
@@ -247,8 +261,18 @@ func (d *Device) State() State { return d.state }
 // IsMaster reports whether the device owns a piconet.
 func (d *Device) IsMaster() bool { return d.isMaster }
 
-// Links returns the master's links keyed by AM_ADDR.
-func (d *Device) Links() map[uint8]*Link { return d.links }
+// Links returns a snapshot of the master's links keyed by AM_ADDR.
+// (Internally links live in a fixed AM_ADDR-indexed array; the map is
+// built per call for the convenience of tests and tooling.)
+func (d *Device) Links() map[uint8]*Link {
+	m := make(map[uint8]*Link, d.nLinks)
+	for am, l := range d.links {
+		if l != nil {
+			m[uint8(am)] = l
+		}
+	}
+	return m
+}
 
 // MasterLink returns the slave's link to its master (nil if none).
 func (d *Device) MasterLink() *Link { return d.mlink }
@@ -257,6 +281,7 @@ func (d *Device) MasterLink() *Link { return d.mlink }
 // scheduled under the previous state: closure-scheduled events die by
 // the generation bump, timer-scheduled ones are stopped outright.
 func (d *Device) setState(s State) {
+	d.endListenSkip()
 	d.state = s
 	d.gen++
 	for _, t := range d.stateTimers {
@@ -266,6 +291,18 @@ func (d *Device) setState(s State) {
 	d.SigState.Set(s.String())
 	d.onRx = nil
 	d.onRxStart = nil
+	// Re-declare the spontaneous-TX promise for the new state. Standby
+	// devices and connection-state slaves only ever transmit in reaction
+	// to a reception (responses, resync answers, voice returns), so on a
+	// quiet medium they stay quiet; every other state runs trains or TX
+	// loops that may start at any slot. Role flags are set before the
+	// transition (startMasterLoop / startSlaveLoop), so isMaster is
+	// already correct here.
+	if s == StateStandby || (s == StateConnection && !d.isMaster) {
+		d.quiet.Promise(sim.TimeMax)
+	} else {
+		d.quiet.Promise(0)
+	}
 }
 
 // after schedules fn to run after delay unless the state machine has
@@ -319,13 +356,66 @@ func (d *Device) rxOffForce() {
 }
 
 // transmit assembles and sends p at freq, driving the TX meter and
-// signal for the packet's air time.
+// signal for the packet's air time. Payload-less control packets (POLL,
+// NULL, the park beacon) dominate idle piconet traffic and assemble to
+// one of a few bit patterns — those come from the device's control
+// cache instead of re-running the whitener and FEC every slot.
 func (d *Device) transmit(p *packet.Packet, uap uint8, clk uint32, freq int) {
+	if h := p.Header; h != nil && (h.Type == packet.TypeNull || h.Type == packet.TypePoll) {
+		c := d.cachedCtl(p, uap, clk)
+		d.transmitVec(c.vec, c.meta, freq)
+		return
+	}
 	meta := AirMeta{Type: p.Type(), LAP: p.AccessLAP}
 	if p.Header != nil {
 		meta.AMAddr = p.Header.AMAddr
 	}
 	d.transmitVec(p.Assemble(uap, clk), meta, freq)
+}
+
+// ctlKey identifies one assembled control-packet bit pattern: everything
+// Assemble folds into the air bits of a payload-less packet. The LAP and
+// UAP vary per piconet (a scatternet bridge transmits under several),
+// the whitener seed is CLK6-1, and the header byte packs the remaining
+// on-air header fields.
+type ctlKey struct {
+	lap  uint32
+	uap  uint8
+	seed uint8
+	hdr  uint16 // AM_ADDR | type<<3 | flow<<7 | arqn<<8 | seqn<<9
+}
+
+// cachedCtl returns the assembled + boxed form of a NULL/POLL packet,
+// assembling on first use. Entries are immutable once stored: the vec
+// rides the channel read-only (the Listener contract), exactly like the
+// pre-assembled ID packets of the page/inquiry trains.
+func (d *Device) cachedCtl(p *packet.Packet, uap uint8, clk uint32) *cachedID {
+	h := p.Header
+	key := ctlKey{
+		lap:  p.AccessLAP,
+		uap:  uap,
+		seed: uint8(clk>>1) & 0x3F,
+		hdr:  uint16(h.AMAddr&7) | uint16(h.Type&0xF)<<3 | boolWord(h.Flow)<<7 | boolWord(h.ARQN)<<8 | boolWord(h.SEQN)<<9,
+	}
+	if c := d.ctlCache[key]; c != nil {
+		return c
+	}
+	if d.ctlCache == nil {
+		d.ctlCache = make(map[ctlKey]*cachedID)
+	}
+	c := &cachedID{
+		vec:  p.Assemble(uap, clk),
+		meta: AirMeta{Type: h.Type, LAP: p.AccessLAP, AMAddr: h.AMAddr},
+	}
+	d.ctlCache[key] = c
+	return c
+}
+
+func boolWord(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // cachedID is a pre-assembled, pre-boxed ID packet: the 68-bit access
@@ -407,7 +497,8 @@ func (d *Device) Detach() {
 	d.setState(StateStandby)
 	d.rxOffForce()
 	d.isMaster = false
-	d.links = make(map[uint8]*Link)
+	d.links = [8]*Link{}
+	d.nLinks = 0
 	d.mlink = nil
 	d.pgscan = pageScanState{}
 	d.Clock.DropSync()

@@ -121,7 +121,14 @@ func (l *Link) hasTraffic() bool { return l.pending != nil || len(l.txq) > 0 }
 // retransmission, fresh data, or the idle packet (POLL for the master,
 // NULL for a slave). The ARQN bit always reflects the last reception.
 func (l *Link) nextPacket(master bool) *packet.Packet {
-	h := &packet.Header{AMAddr: l.AMAddr, ARQN: l.arqnOut}
+	// Packet and header share one allocation; the pair lives only until
+	// the transmit path has assembled it onto the air.
+	a := &struct {
+		p packet.Packet
+		h packet.Header
+	}{}
+	a.h = packet.Header{AMAddr: l.AMAddr, ARQN: l.arqnOut}
+	a.p = packet.Packet{AccessLAP: l.Master.LAP, Header: &a.h}
 	if l.pending == nil && len(l.txq) > 0 {
 		msg := l.txq[0]
 		l.txq = l.txq[1:]
@@ -134,22 +141,19 @@ func (l *Link) nextPacket(master bool) *packet.Packet {
 			l.dev.Counters.Retransmits++
 		}
 		l.pendingSent = true
-		h.Type = l.PacketType
-		h.SEQN = l.seqnOut
+		a.h.Type = l.PacketType
+		a.h.SEQN = l.seqnOut
 		l.TxData++
-		return &packet.Packet{
-			AccessLAP: l.Master.LAP,
-			Header:    h,
-			Payload:   l.pending.data,
-			LLID:      l.pending.llid,
-		}
+		a.p.Payload = l.pending.data
+		a.p.LLID = l.pending.llid
+		return &a.p
 	}
 	if master {
-		h.Type = packet.TypePoll
+		a.h.Type = packet.TypePoll
 	} else {
-		h.Type = packet.TypeNull
+		a.h.Type = packet.TypeNull
 	}
-	return &packet.Packet{AccessLAP: l.Master.LAP, Header: h}
+	return &a.p
 }
 
 // processRx updates ARQ state from a received header and reports whether

@@ -94,6 +94,7 @@ func (d *Device) rescheduleSlaveLoop() {
 	if d.state != StateConnection || d.mlink == nil {
 		return
 	}
+	d.endListenSkip()
 	d.gen++ // drop previously scheduled closure events
 	for _, t := range []*sim.Timer{d.tSlaveSlot, d.tSlaveCls, d.tSlaveResp, d.tSlaveDone, d.tHoldStep} {
 		t.Stop() // and the timer-armed listen/close/response windows
@@ -226,7 +227,7 @@ func (d *Device) beaconDue(now sim.Time) bool {
 	}
 	parked := false
 	for _, l := range d.links {
-		if l.mode == ModePark {
+		if l != nil && l.mode == ModePark {
 			parked = true
 			break
 		}

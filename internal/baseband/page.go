@@ -229,6 +229,7 @@ func (d *Device) masterResponse(x uint32, respStart sim.Time) {
 		l := newLink(d, amaddr, target, d.cfg.Addr)
 		l.newconnPending = true
 		d.links[amaddr] = l
+		d.nLinks++
 		d.startMasterLoop()
 		d.armNewConnTimeout(l)
 	}
@@ -246,8 +247,9 @@ func (d *Device) armNewConnTimeout(l *Link) {
 		if !l.newconnPending {
 			return
 		}
-		delete(d.links, l.AMAddr)
-		if len(d.links) == 0 {
+		d.links[l.AMAddr] = nil
+		d.nLinks--
+		if d.nLinks == 0 {
 			d.isMaster = false
 		}
 		if d.now() < d.pg.deadline {
@@ -261,7 +263,7 @@ func (d *Device) armNewConnTimeout(l *Link) {
 // allocAMAddr returns the next free active member address.
 func (d *Device) allocAMAddr() uint8 {
 	for am := uint8(1); am <= 7; am++ {
-		if _, used := d.links[am]; !used {
+		if d.links[am] == nil {
 			return am
 		}
 	}

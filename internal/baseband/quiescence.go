@@ -1,0 +1,132 @@
+package baseband
+
+import "repro/internal/sim"
+
+// Whole-world quiescence fast-forward for the slave listen loop.
+//
+// An active-mode slave opens a carrier-sense window at every master
+// transmit slot — the dominant event load of an idle piconet. When the
+// channel's quiet horizon (channel.QuietUntil: the earliest instant any
+// transmitter may spontaneously put a bit on the air) clears a run of
+// upcoming windows entirely, the slave elides their events wholesale:
+// the power meter books the identical window pattern virtually
+// (power.Meter.SkipWindows) and one timer wakes the loop at the first
+// window the proof does not cover. A promise revocation mid-skip
+// (QuietHorizonShrunk) falls back to the per-slot schedule before the
+// newly announced transmission can start, re-opening the receiver
+// mid-window if the revocation lands inside one. The result is exact:
+// meters, activation counts, supervision decisions and receptions match
+// the per-slot schedule tick for tick, because a skipped window is one
+// the per-slot schedule would have opened and closed without hearing a
+// single bit.
+
+// maxSkipWindows caps one bulk skip (at two slots per window, 2^16
+// windows is about 80 s of simulated time). The wake-up window
+// re-evaluates the horizon, so an unbounded quiet stretch still
+// fast-forwards indefinitely, one capped hop at a time.
+const maxSkipWindows = 1 << 16
+
+// tryListenSkip decides, at a window-open instant, whether the upcoming
+// run of active-mode listen windows can be skipped in bulk. It returns
+// true after arming the wake-up and the virtual meter pattern.
+func (d *Device) tryListenSkip(l *Link) bool {
+	// Tracing wants every window on the waveform; a pending response
+	// (tSlaveResp: ACL or voice return, tSlaveDone: post-response
+	// bookkeeping) means our own transmitter is about to act.
+	if d.k.Traced() || d.tSlaveResp.Armed() || d.tSlaveDone.Armed() {
+		return false
+	}
+	now := d.now()
+	lead := sim.Time(d.leadTicks())
+	cs := sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS)))
+	period := sim.Time(sim.Slots(2))
+	s0 := d.nextCLKSlot(now) // this window's slot boundary (now == s0-lead)
+	q := d.ch.QuietUntil()
+	if q <= s0+cs {
+		return false // this very window could hear something
+	}
+	// Window j opens at s0 + j*period - lead. It is skippable while its
+	// whole span closes strictly before the quiet horizon...
+	k := uint64(maxSkipWindows)
+	if q != sim.TimeMax {
+		if kq := (uint64(q-s0-cs) + uint64(period) - 1) / uint64(period); kq < k {
+			k = kq
+		}
+	}
+	// ...and while its open could not trip the supervision timeout: the
+	// per-slot loop checks the budget at every open, and the skip must
+	// drop the link at exactly the same window it would have.
+	ref := l.lastHeardAt
+	if ref == 0 {
+		ref = l.createdAt
+	}
+	deadline := ref + sim.Time(sim.Slots(uint64(d.cfg.SupervisionTimeoutSlots)))
+	if deadline+lead < s0 {
+		return false // cannot happen: this window's entry check passed
+	}
+	if kd := uint64(deadline+lead-s0)/uint64(period) + 1; kd < k {
+		k = kd
+	}
+	if k < 2 {
+		return false // nothing to elide beyond the ordinary re-arm
+	}
+	wake := s0 + sim.Time(k*uint64(period)) - lead
+	d.RxMeter.SkipWindows(now, sim.Duration(period), sim.Duration(lead+cs), int(k))
+	d.listenSkipping = true
+	d.skipStart = now
+	d.skipK = int(k)
+	d.ch.WatchQuiet(d)
+	d.tSlaveSlot.AtFn(wake, d.fnSlaveListenSlot)
+	return true
+}
+
+// endListenSkip tears down an active bulk skip: settle the virtual
+// meter pattern up to now and stop watching the horizon. The wake-up
+// timer is the caller's to re-arm (slaveListenSlot, rescheduleSlaveLoop
+// and setState all do).
+func (d *Device) endListenSkip() {
+	if !d.listenSkipping {
+		return
+	}
+	d.listenSkipping = false
+	d.RxMeter.CancelSkip()
+	d.ch.UnwatchQuiet(d)
+}
+
+// QuietHorizonShrunk implements channel.QuietWatcher: a transmitter
+// revoked part of the promised quiet, so the bulk skip must hand back
+// to the per-slot schedule before that transmission can start. When the
+// revocation lands inside a virtual window the receiver really opens
+// for the window's remainder — the meter settle has already booked the
+// chain on since the window's start, so the accounting stays seamless.
+func (d *Device) QuietHorizonShrunk() {
+	if !d.listenSkipping {
+		return
+	}
+	now := d.now()
+	lead := sim.Time(d.leadTicks())
+	cs := sim.Time(sim.Microseconds(uint64(d.cfg.CarrierSenseUS)))
+	period := sim.Time(sim.Slots(2))
+	var winStart sim.Time
+	inWin := false
+	if now >= d.skipStart {
+		i := uint64(now-d.skipStart) / uint64(period)
+		ws := d.skipStart + sim.Time(i*uint64(period))
+		if i < uint64(d.skipK) && now < ws+lead+cs {
+			inWin, winStart = true, ws
+		}
+	}
+	d.endListenSkip()
+	l := d.mlink
+	if l == nil || d.state != StateConnection {
+		return
+	}
+	if inWin {
+		slotStart := winStart + lead
+		d.rxOn(d.chanFreq(l.sel, d.Clock.CLK(slotStart)))
+		d.tSlaveCls.At(slotStart + cs)
+		d.scheduleSlaveListen(slotStart + period - lead)
+		return
+	}
+	d.scheduleSlaveListen(now)
+}

@@ -12,8 +12,8 @@ func (d *Device) checkSupervision(now sim.Time) {
 		// Fixed AM_ADDR order, not map order: simultaneous timeouts must
 		// tear down in a deterministic sequence.
 		for am := uint8(1); am <= 7; am++ {
-			l, ok := d.links[am]
-			if !ok {
+			l := d.links[am]
+			if l == nil {
 				continue
 			}
 			if l.mode == ModePark {
@@ -55,8 +55,9 @@ func (d *Device) DropLink(l *Link, reason string) {
 		if d.links[l.AMAddr] != l {
 			return
 		}
-		delete(d.links, l.AMAddr)
-		if len(d.links) == 0 {
+		d.links[l.AMAddr] = nil
+		d.nLinks--
+		if d.nLinks == 0 {
 			d.isMaster = false
 			d.setState(StateStandby)
 			d.rxOffForce()
@@ -83,6 +84,7 @@ func (d *Device) Vanish() {
 	d.setState(StateStandby)
 	d.rxOffForce()
 	d.isMaster = false
-	d.links = make(map[uint8]*Link)
+	d.links = [8]*Link{}
+	d.nLinks = 0
 	d.mlink = nil
 }

@@ -101,10 +101,57 @@ func (v *Vec) AppendUint(x uint64, n int) {
 // AppendVec appends all bits of o.
 func (v *Vec) AppendVec(o *Vec) { v.bits = append(v.bits, o.bits...) }
 
+// Grow appends n zero bits and returns the appended tail as a writable
+// slice (one byte per bit), letting encoders fill positions directly
+// instead of appending bit by bit.
+func (v *Vec) Grow(n int) []uint8 {
+	old := len(v.bits)
+	if cap(v.bits) < old+n {
+		nb := make([]uint8, old, old+n)
+		copy(nb, v.bits)
+		v.bits = nb
+	}
+	v.bits = v.bits[:old+n]
+	tail := v.bits[old:]
+	for i := range tail {
+		tail[i] = 0
+	}
+	return tail
+}
+
+// XorUint8At XORs the 8 bits of b, LSB first, into positions [i, i+8).
+func (v *Vec) XorUint8At(i int, b uint8) {
+	t := v.bits[i : i+8 : i+8]
+	t[0] ^= b & 1
+	t[1] ^= b >> 1 & 1
+	t[2] ^= b >> 2 & 1
+	t[3] ^= b >> 3 & 1
+	t[4] ^= b >> 4 & 1
+	t[5] ^= b >> 5 & 1
+	t[6] ^= b >> 6 & 1
+	t[7] ^= b >> 7 & 1
+}
+
+// Uint8MSBAt packs bits [i, i+8) into a byte with bit i as the MSB —
+// the order a shift register consumes the air stream.
+func (v *Vec) Uint8MSBAt(i int) uint8 {
+	t := v.bits[i : i+8 : i+8]
+	return t[0]<<7 | t[1]<<6 | t[2]<<5 | t[3]<<4 | t[4]<<3 | t[5]<<2 | t[6]<<1 | t[7]
+}
+
 // AppendBytes appends bytes LSB-first, in slice order.
 func (v *Vec) AppendBytes(bs []byte) {
-	for _, b := range bs {
-		v.AppendUint(uint64(b), 8)
+	tail := v.Grow(len(bs) * 8)
+	for k, b := range bs {
+		t := tail[k*8 : k*8+8 : k*8+8]
+		t[0] = b & 1
+		t[1] = b >> 1 & 1
+		t[2] = b >> 2 & 1
+		t[3] = b >> 3 & 1
+		t[4] = b >> 4 & 1
+		t[5] = b >> 5 & 1
+		t[6] = b >> 6 & 1
+		t[7] = b >> 7 & 1
 	}
 }
 
@@ -114,9 +161,15 @@ func (v *Vec) Uint(offset, n int) uint64 {
 	if n > 64 {
 		panic("bits: Uint reads at most 64 bits")
 	}
+	b := v.bits[offset : offset+n]
 	var x uint64
-	for i := 0; i < n; i++ {
-		x |= uint64(v.bits[offset+i]) << i
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		t := b[i : i+8 : i+8]
+		x |= uint64(t[0]|t[1]<<1|t[2]<<2|t[3]<<3|t[4]<<4|t[5]<<5|t[6]<<6|t[7]<<7) << i
+	}
+	for ; i < n; i++ {
+		x |= uint64(b[i]) << i
 	}
 	return x
 }
@@ -133,10 +186,20 @@ func (v *Vec) Clone() *Vec { return v.Slice(0, v.Len()) }
 
 // Bytes packs the bits into bytes, LSB-first within each byte; the last
 // byte is zero-padded. This inverts AppendBytes.
-func (v *Vec) Bytes() []byte {
-	out := make([]byte, (len(v.bits)+7)/8)
-	for i, b := range v.bits {
-		out[i/8] |= b << (i % 8)
+func (v *Vec) Bytes() []byte { return v.BytesRange(0, len(v.bits)) }
+
+// BytesRange packs bits [from, to) into bytes like Bytes, without an
+// intermediate Slice copy.
+func (v *Vec) BytesRange(from, to int) []byte {
+	b := v.bits[from:to]
+	out := make([]byte, (len(b)+7)/8)
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		t := b[i : i+8 : i+8]
+		out[i/8] = t[0] | t[1]<<1 | t[2]<<2 | t[3]<<3 | t[4]<<4 | t[5]<<5 | t[6]<<6 | t[7]<<7
+	}
+	for ; i < len(b); i++ {
+		out[i/8] |= b[i] << (i % 8)
 	}
 	return out
 }

@@ -46,7 +46,9 @@ func (t *Transmission) Duration() sim.Duration { return sim.Duration(t.End - t.S
 // Listener is a tuned receiver. RxStart fires (after the demodulator
 // delay) when a packet begins on the tuned frequency, letting the
 // baseband keep its RF window open to packet end; RxEnd delivers the
-// (noise-corrupted) bits or reports a collision.
+// (noise-corrupted) bits or reports a collision. The delivered bits may
+// be shared with other receivers (and, on a noiseless channel, with the
+// transmitter): listeners must treat rx as read-only.
 type Listener interface {
 	Name() string
 	RxStart(tx *Transmission)
@@ -108,6 +110,12 @@ type Channel struct {
 	jammers     []Jammer
 	stats       Stats
 	onCollision func(existing, incoming *Transmission)
+
+	// Quiet-horizon bookkeeping (see quiet.go).
+	promises       []*TxPromise
+	quietWatchers  []QuietWatcher
+	watcherScratch []QuietWatcher
+	inFlight       int // transmissions with a pending delivery event
 }
 
 // tuneState tracks one listener's receiver. The struct persists across
@@ -279,6 +287,7 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 	// Deterministic order regardless of registration order.
 	sortListeners(tx.eligible)
 
+	c.inFlight++ // pin the quiet horizon until the delivery event runs
 	c.k.Schedule(c.cfg.Delay, tx.startFn)
 	c.k.Schedule(sim.Duration(tx.End-now)+c.cfg.Delay, tx.endFn)
 	return tx
@@ -328,6 +337,7 @@ func (tx *Transmission) deliverEnd() {
 	}
 	// The packet has left the air (End <= now), so it can no longer
 	// collide with anything; drop it from the active list and recycle.
+	c.inFlight--
 	c.pruneActive(c.k.Now())
 	tx.Bits = nil
 	tx.Meta = nil
@@ -336,12 +346,17 @@ func (tx *Transmission) deliverEnd() {
 	c.txFree = append(c.txFree, tx)
 }
 
-// corrupt applies the BER to a copy of the transmitted bits.
+// corrupt applies the BER to a copy of the transmitted bits. A noiseless
+// channel hands receivers the transmitted vector itself: the per-receiver
+// copy exists only to carry independent noise, and the whole receive
+// chain (correlation, FEC, dewhitening, payload extraction) reads rx
+// without mutating it — receivers must treat delivered bits as shared
+// and read-only, per the Listener contract.
 func (c *Channel) corrupt(v *bits.Vec) *bits.Vec {
-	out := v.Clone()
 	if c.cfg.BER == 0 {
-		return out
+		return v
 	}
+	out := v.Clone()
 	for i := 0; i < out.Len(); i++ {
 		if c.rng.Bool(c.cfg.BER) {
 			out.FlipBit(i)

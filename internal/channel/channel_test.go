@@ -232,8 +232,11 @@ func TestZeroBERNeverFlips(t *testing.T) {
 	if !rx.got[0].Equal(sent) {
 		t.Fatal("zero BER corrupted bits")
 	}
-	if rx.got[0] == sent {
-		t.Fatal("delivered vector must be a copy, not the sender's buffer")
+	// A noiseless channel hands over the transmitted vector itself; the
+	// per-receiver copy exists only to carry independent noise (receivers
+	// treat rx as shared read-only, per the Listener contract).
+	if rx.got[0] != sent {
+		t.Fatal("noiseless delivery should not copy the transmitted bits")
 	}
 }
 

@@ -1,0 +1,110 @@
+package channel
+
+import (
+	"repro/internal/sim"
+)
+
+// Quiet-horizon bookkeeping: the whole-world generalisation of the
+// master TX loop's long-skip. Every potential transmitter registers a
+// TxPromise — a standing declaration of the earliest time it may
+// spontaneously put a packet on the air. The minimum over all promises
+// (pinned to the present while anything is mid-air) is a proven quiet
+// horizon: a listener that only ever reacts to receptions can skip its
+// carrier-sense windows up to that horizon wholesale, because no bit can
+// reach its antenna before then. Promise shrinks are pushed to watchers
+// synchronously, so a skipping listener resumes its per-slot schedule
+// before the newly promised transmission can begin.
+
+// TxPromise is one transmitter's declaration. Zero means "may transmit
+// at any moment" (no promise); sim.TimeMax means "reactive only" — this
+// device transmits solely in response to receptions, so on a quiet
+// medium it stays quiet by induction.
+type TxPromise struct {
+	c     *Channel
+	until sim.Time
+}
+
+// NewTxPromise registers a transmitter with the channel's quiet-horizon
+// bookkeeping and returns its handle. Registration counts as a shrink
+// (the new actor may transmit sooner than anyone promised), so current
+// watchers are notified.
+func (c *Channel) NewTxPromise(until sim.Time) *TxPromise {
+	p := &TxPromise{c: c, until: until}
+	c.promises = append(c.promises, p)
+	c.notifyQuietShrunk()
+	return p
+}
+
+// Until returns the promise's current declaration.
+func (p *TxPromise) Until() sim.Time { return p.until }
+
+// Promise moves the declaration. Extending it is free; shrinking it —
+// new work appeared earlier than promised — notifies every watcher
+// before returning, which is what keeps a skipped listen schedule from
+// sleeping through the transmission the shrink announces.
+func (p *TxPromise) Promise(until sim.Time) {
+	if until == p.until {
+		return
+	}
+	shrunk := until < p.until
+	p.until = until
+	if shrunk {
+		p.c.notifyQuietShrunk()
+	}
+}
+
+// QuietUntil returns the earliest time any registered transmitter may
+// spontaneously transmit. While a transmission is on the air (or its
+// delivery event is still pending) the horizon is pinned to the present:
+// reactive responses chain off deliveries, so nothing is provably quiet
+// until the air clears. A result at or before now means "not quiet".
+func (c *Channel) QuietUntil() sim.Time {
+	if c.inFlight > 0 {
+		return c.k.Now()
+	}
+	q := sim.TimeMax
+	for _, p := range c.promises {
+		if p.until < q {
+			q = p.until
+		}
+	}
+	return q
+}
+
+// QuietWatcher is notified, synchronously, when the quiet horizon may
+// have moved earlier: a promise shrank or a new transmitter registered.
+type QuietWatcher interface {
+	QuietHorizonShrunk()
+}
+
+// WatchQuiet subscribes w to horizon shrinks. Watchers are notified in
+// subscription order — a deterministic order, since world construction
+// and the event schedule are deterministic.
+func (c *Channel) WatchQuiet(w QuietWatcher) {
+	c.quietWatchers = append(c.quietWatchers, w)
+}
+
+// UnwatchQuiet removes w, preserving the order of the remaining
+// watchers. Removing a watcher that is not subscribed is a no-op.
+func (c *Channel) UnwatchQuiet(w QuietWatcher) {
+	for i, x := range c.quietWatchers {
+		if x == w {
+			c.quietWatchers = append(c.quietWatchers[:i], c.quietWatchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyQuietShrunk fans the shrink out over a snapshot, because
+// watchers typically unsubscribe (and may resubscribe) from inside the
+// callback.
+func (c *Channel) notifyQuietShrunk() {
+	if len(c.quietWatchers) == 0 {
+		return
+	}
+	ws := append(c.watcherScratch[:0], c.quietWatchers...)
+	for _, w := range ws {
+		w.QuietHorizonShrunk()
+	}
+	c.watcherScratch = ws[:0]
+}

@@ -11,11 +11,17 @@ const hecGen = 0b10100111
 // with the LFSR initialised to the device's UAP, exactly as the link
 // controller does before FEC-1/3 encoding the header.
 func HEC(header *bits.Vec, uap uint8) uint8 {
+	return HECRange(header, 0, header.Len(), uap)
+}
+
+// HECRange computes the HEC over bits [from, to) of v, so the parser
+// can check a header in place without slicing it out.
+func HECRange(v *bits.Vec, from, to int, uap uint8) uint8 {
 	reg := uap
-	for i := 0; i < header.Len(); i++ {
+	for i := from; i < to; i++ {
 		msb := (reg >> 7) & 1
 		reg <<= 1
-		if msb^header.Bit(i) == 1 {
+		if msb^v.Bit(i) == 1 {
 			reg ^= hecGen
 		}
 	}
@@ -30,14 +36,43 @@ func CheckHEC(header *bits.Vec, uap, got uint8) bool {
 // crcGen is the CRC-16 CCITT generator D^16 + D^12 + D^5 + 1.
 const crcGen = 0x1021
 
+// crcTab[b] is the register delta after clocking the 8 bits of b
+// (MSB first) through an all-zero register — the standard byte-at-a-time
+// CRC table, derived from the same generator the bitwise loop uses.
+var crcTab = func() (tab [256]uint16) {
+	for b := 0; b < 256; b++ {
+		reg := uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if reg&0x8000 != 0 {
+				reg = reg<<1 ^ crcGen
+			} else {
+				reg <<= 1
+			}
+		}
+		tab[b] = reg
+	}
+	return
+}()
+
 // CRC16 computes the payload CRC with the register preset to UAP in the
-// high byte (Bluetooth 1.2 part B §7.1.2).
+// high byte (Bluetooth 1.2 part B §7.1.2). Bits are consumed a byte at a
+// time through crcTab; the sub-byte tail falls back to single shifts.
 func CRC16(payload *bits.Vec, uap uint8) uint16 {
+	return CRC16Range(payload, 0, payload.Len(), uap)
+}
+
+// CRC16Range computes the CRC over bits [from, to) of v in place — the
+// parser checks received payloads without copying them out first.
+func CRC16Range(v *bits.Vec, from, to int, uap uint8) uint16 {
 	reg := uint16(uap) << 8
-	for i := 0; i < payload.Len(); i++ {
+	i := from
+	for ; i+8 <= to; i += 8 {
+		reg = reg<<8 ^ crcTab[uint8(reg>>8)^v.Uint8MSBAt(i)]
+	}
+	for ; i < to; i++ {
 		msb := uint8(reg >> 15)
 		reg <<= 1
-		if msb^payload.Bit(i) == 1 {
+		if msb^v.Bit(i) == 1 {
 			reg ^= crcGen
 		}
 	}
@@ -72,10 +107,30 @@ func (w *Whitener) NextBit() uint8 {
 	return out
 }
 
+// whitenStream[s] holds the next 8 whitening bits (LSB first) produced
+// from state s, and whitenNext[s] the state after emitting them. Both
+// are derived from NextBit, so the table walk is the bitwise LFSR.
+var whitenStream, whitenNext = func() (stream, next [128]uint8) {
+	for s := 0; s < 128; s++ {
+		w := Whitener{reg: uint8(s)}
+		for j := 0; j < 8; j++ {
+			stream[s] |= w.NextBit() << j
+		}
+		next[s] = w.reg
+	}
+	return
+}()
+
 // Apply XORs the whitening stream over v in place starting at the
-// current LFSR position.
+// current LFSR position, eight bits per table step.
 func (w *Whitener) Apply(v *bits.Vec) {
-	for i := 0; i < v.Len(); i++ {
+	n := v.Len()
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v.XorUint8At(i, whitenStream[w.reg])
+		w.reg = whitenNext[w.reg]
+	}
+	for ; i < n; i++ {
 		if w.NextBit() == 1 {
 			v.FlipBit(i)
 		}

@@ -12,13 +12,20 @@ import "repro/internal/bits"
 // EncodeFEC13 triples every input bit (rate-1/3 repetition code).
 func EncodeFEC13(in *bits.Vec) *bits.Vec {
 	out := bits.NewVec(in.Len() * 3)
+	AppendFEC13(out, in)
+	return out
+}
+
+// AppendFEC13 appends the rate-1/3 encoding of in directly to out,
+// saving the intermediate vector on the packet assembly path.
+func AppendFEC13(out, in *bits.Vec) {
+	t := out.Grow(in.Len() * 3)
 	for i := 0; i < in.Len(); i++ {
 		b := in.Bit(i)
-		out.AppendBit(b)
-		out.AppendBit(b)
-		out.AppendBit(b)
+		t[3*i] = b
+		t[3*i+1] = b
+		t[3*i+2] = b
 	}
-	return out
 }
 
 // DecodeFEC13 majority-votes each bit triple. The input length must be a
@@ -26,20 +33,28 @@ func EncodeFEC13(in *bits.Vec) *bits.Vec {
 // It also reports how many triples needed correction, a useful channel
 // quality measure.
 func DecodeFEC13(in *bits.Vec) (out *bits.Vec, corrected int, ok bool) {
-	if in.Len()%3 != 0 {
+	return DecodeFEC13Range(in, 0, in.Len())
+}
+
+// DecodeFEC13Range decodes bits [from, to) of in without copying them
+// into a separate vector first (the packet parser decodes the header
+// straight out of the received air stream).
+func DecodeFEC13Range(in *bits.Vec, from, to int) (out *bits.Vec, corrected int, ok bool) {
+	if (to-from)%3 != 0 {
 		return nil, 0, false
 	}
-	out = bits.NewVec(in.Len() / 3)
-	for i := 0; i < in.Len(); i += 3 {
-		sum := in.Bit(i) + in.Bit(i+1) + in.Bit(i+2)
-		var b uint8
+	n := (to - from) / 3
+	out = bits.NewVec(n)
+	t := out.Grow(n)
+	for i := 0; i < n; i++ {
+		j := from + 3*i
+		sum := in.Bit(j) + in.Bit(j+1) + in.Bit(j+2)
 		if sum >= 2 {
-			b = 1
+			t[i] = 1
 		}
 		if sum == 1 || sum == 2 {
 			corrected++
 		}
-		out.AppendBit(b)
 	}
 	return out, corrected, true
 }

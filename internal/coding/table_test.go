@@ -1,0 +1,131 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// randVec returns n random bits from r.
+func rndVec(r *rand.Rand, n int) *bits.Vec {
+	v := bits.NewVec(n)
+	for i := 0; i < n; i++ {
+		v.AppendBit(uint8(r.Intn(2)))
+	}
+	return v
+}
+
+// applyBitwise is the original whitening loop the table walk replaced;
+// the tests below hold the optimised path to it bit for bit.
+func applyBitwise(w *Whitener, v *bits.Vec) {
+	for i := 0; i < v.Len(); i++ {
+		if w.NextBit() == 1 {
+			v.FlipBit(i)
+		}
+	}
+}
+
+func TestWhitenerApplyMatchesBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 18, 54, 126, 240, 2745} {
+		for trial := 0; trial < 8; trial++ {
+			clk := r.Uint32()
+			a := rndVec(r, n)
+			b := a.Clone()
+			wa, wb := NewWhitener(clk), NewWhitener(clk)
+			wa.Apply(a)
+			applyBitwise(wb, b)
+			if !a.Equal(b) {
+				t.Fatalf("n=%d clk=%#x: table whitening diverges from bitwise", n, clk)
+			}
+			if wa.reg != wb.reg {
+				t.Fatalf("n=%d clk=%#x: LFSR state %#x != %#x after Apply", n, clk, wa.reg, wb.reg)
+			}
+		}
+	}
+}
+
+// crc16Bitwise is the original CRC loop.
+func crc16Bitwise(payload *bits.Vec, uap uint8) uint16 {
+	reg := uint16(uap) << 8
+	for i := 0; i < payload.Len(); i++ {
+		msb := uint8(reg >> 15)
+		reg <<= 1
+		if msb^payload.Bit(i) == 1 {
+			reg ^= crcGen
+		}
+	}
+	return reg
+}
+
+func TestCRC16TableMatchesBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 31, 160, 339, 2712} {
+		for trial := 0; trial < 8; trial++ {
+			uap := uint8(r.Uint32())
+			v := rndVec(r, n)
+			if got, want := CRC16(v, uap), crc16Bitwise(v, uap); got != want {
+				t.Fatalf("n=%d uap=%#x: CRC16 = %#x, bitwise = %#x", n, uap, got, want)
+			}
+		}
+	}
+}
+
+func TestCRC16RangeMatchesSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	v := rndVec(r, 300)
+	for trial := 0; trial < 32; trial++ {
+		from := r.Intn(200)
+		to := from + r.Intn(v.Len()-from)
+		uap := uint8(r.Uint32())
+		if got, want := CRC16Range(v, from, to, uap), CRC16(v.Slice(from, to), uap); got != want {
+			t.Fatalf("[%d,%d): CRC16Range = %#x, sliced = %#x", from, to, got, want)
+		}
+	}
+}
+
+func TestHECRangeMatchesSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	v := rndVec(r, 64)
+	for trial := 0; trial < 32; trial++ {
+		from := r.Intn(40)
+		to := from + r.Intn(v.Len()-from)
+		uap := uint8(r.Uint32())
+		if got, want := HECRange(v, from, to, uap), HEC(v.Slice(from, to), uap); got != want {
+			t.Fatalf("[%d,%d): HECRange = %#x, sliced = %#x", from, to, got, want)
+		}
+	}
+}
+
+func TestAppendFEC13MatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 18, 80} {
+		in := rndVec(r, n)
+		prefix := rndVec(r, 5)
+		out := prefix.Clone()
+		AppendFEC13(out, in)
+		want := prefix.Clone()
+		want.AppendVec(EncodeFEC13(in))
+		if !out.Equal(want) {
+			t.Fatalf("n=%d: AppendFEC13 diverges from EncodeFEC13", n)
+		}
+	}
+}
+
+func TestDecodeFEC13RangeMatchesSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	v := rndVec(r, 240)
+	for trial := 0; trial < 32; trial++ {
+		from := r.Intn(60)
+		to := from + 3*r.Intn((v.Len()-from)/3)
+		gotV, gotC, gotOK := DecodeFEC13Range(v, from, to)
+		wantV, wantC, wantOK := DecodeFEC13(v.Slice(from, to))
+		if gotOK != wantOK || gotC != wantC || (gotOK && !gotV.Equal(wantV)) {
+			t.Fatalf("[%d,%d): DecodeFEC13Range diverges from sliced decode", from, to)
+		}
+	}
+	if _, _, ok := DecodeFEC13Range(v, 0, 7); ok {
+		t.Fatal("non-multiple-of-3 range must fail")
+	}
+}

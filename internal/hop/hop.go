@@ -26,13 +26,11 @@ var (
 	perm5Index2 = [14]int{1, 3, 2, 4, 4, 3, 2, 4, 4, 3, 4, 3, 3, 2}
 )
 
-// perm5 applies the 14-stage butterfly permutation to the 5-bit input z
-// under the 14-bit control word (pHigh 5 bits, pLow 9 bits). The stages
-// run directly on the packed bits — a conditional exchange of bits a
-// and b is an XOR with (1<<a | 1<<b) when they differ — so the hot
-// connection-state hop selection needs no scratch arrays.
-func perm5(z uint32, pHigh, pLow uint32) uint32 {
-	ctl := pLow&0x1FF | (pHigh&0x1F)<<9 // control bit i at position i
+// perm5Butterfly applies the 14-stage butterfly permutation to the
+// 5-bit input z under the packed 14-bit control word. The stages run
+// directly on the packed bits — a conditional exchange of bits a and b
+// is an XOR with (1<<a | 1<<b) when they differ.
+func perm5Butterfly(z, ctl uint32) uint32 {
 	for i := 13; i >= 0; i-- {
 		if ctl>>uint(i)&1 == 1 {
 			a, b := perm5Index1[13-i], perm5Index2[13-i]
@@ -42,6 +40,27 @@ func perm5(z uint32, pHigh, pLow uint32) uint32 {
 		}
 	}
 	return z & 0x1F
+}
+
+// perm5Tab caches the butterfly output for every (control, input) pair,
+// indexed ctl<<5 | z. Connection-state hop selection runs the kernel on
+// every single tune, so the 512 KiB table retires the 14-stage loop
+// from the simulator's per-slot path.
+var perm5Tab = func() []uint8 {
+	t := make([]uint8, 1<<19)
+	for ctl := uint32(0); ctl < 1<<14; ctl++ {
+		for z := uint32(0); z < 32; z++ {
+			t[ctl<<5|z] = uint8(perm5Butterfly(z, ctl))
+		}
+	}
+	return t
+}()
+
+// perm5 looks up the butterfly permutation for input z under the 14-bit
+// control word (pHigh 5 bits, pLow 9 bits).
+func perm5(z uint32, pHigh, pLow uint32) uint32 {
+	ctl := pLow&0x1FF | (pHigh&0x1F)<<9 // control bit i at position i
+	return uint32(perm5Tab[ctl<<5|z&0x1F])
 }
 
 // bank maps the kernel's final adder output to an RF channel: even

@@ -1,0 +1,16 @@
+package hop
+
+import "testing"
+
+// TestPerm5TableMatchesButterfly holds the precomputed permutation table
+// to the 14-stage butterfly it replaced, across the full input space.
+func TestPerm5TableMatchesButterfly(t *testing.T) {
+	for ctl := uint32(0); ctl < 1<<14; ctl++ {
+		for z := uint32(0); z < 32; z++ {
+			got := perm5(z, ctl>>9, ctl&0x1FF)
+			if want := perm5Butterfly(z, ctl); got != want {
+				t.Fatalf("perm5(z=%d, ctl=%#x) = %d, butterfly = %d", z, ctl, got, want)
+			}
+		}
+	}
+}

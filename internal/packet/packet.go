@@ -273,7 +273,7 @@ func (p *Packet) Assemble(uap uint8, clk uint32) *bits.Vec {
 		return access.Code(p.AccessLAP, false)
 	}
 	out := bits.NewVec(p.AirBits())
-	out.AppendVec(access.Code(p.AccessLAP, true))
+	access.AppendCode(out, p.AccessLAP, true)
 
 	w := coding.NewWhitener(clk)
 
@@ -287,7 +287,7 @@ func (p *Packet) Assemble(uap uint8, clk uint32) *bits.Vec {
 	hec := coding.HEC(hdr, uap)
 	hdr.AppendUint(uint64(hec), 8)
 	w.Apply(hdr)
-	out.AppendVec(coding.EncodeFEC13(hdr))
+	coding.AppendFEC13(out, hdr)
 
 	pl := p.payloadBits(uap)
 	if pl == nil {
@@ -296,7 +296,7 @@ func (p *Packet) Assemble(uap uint8, clk uint32) *bits.Vec {
 	w.Apply(pl)
 	switch {
 	case p.Header.Type.fec13Payload():
-		out.AppendVec(coding.EncodeFEC13(pl))
+		coding.AppendFEC13(out, pl)
 	case p.Header.Type.fec23():
 		out.AppendVec(coding.EncodeFEC23(pl))
 	default:
@@ -378,41 +378,52 @@ func boolBit(b bool) uint8 {
 // is the correlator's sync-error budget. ID packets parse as soon as the
 // access code correlates and the length is the bare 68-bit form.
 func Parse(rx *bits.Vec, expectLAP uint32, uap uint8, clk uint32, threshold int) (*Packet, *RxInfo, error) {
-	info := &RxInfo{}
+	// One allocation covers the packet, header and quality report — the
+	// receive path runs once per delivered transmission and dominated the
+	// allocator before they were fused.
+	a := &struct {
+		p    Packet
+		h    Header
+		info RxInfo
+	}{}
+	info := &a.info
 	errs, ok := access.Correlate(rx, expectLAP, threshold)
 	info.SyncErrors = errs
 	if !ok {
 		return nil, info, ErrAccessCode
 	}
 	if rx.Len() < 72+54 {
-		return &Packet{AccessLAP: expectLAP}, info, nil
+		a.p.AccessLAP = expectLAP
+		return &a.p, info, nil
 	}
 
 	w := coding.NewWhitener(clk)
-	hdrBits, corrected, ok := coding.DecodeFEC13(rx.Slice(72, 72+54))
+	hdrBits, corrected, ok := coding.DecodeFEC13Range(rx, 72, 72+54)
 	if !ok {
 		return nil, info, ErrHeaderFEC
 	}
 	info.HeaderCorrected = corrected
 	w.Apply(hdrBits)
 	hec := uint8(hdrBits.Uint(10, 8))
-	if !coding.CheckHEC(hdrBits.Slice(0, 10), uap, hec) {
+	if coding.HECRange(hdrBits, 0, 10, uap) != hec {
 		return nil, info, ErrHEC
 	}
-	h := &Header{
+	a.h = Header{
 		AMAddr: uint8(hdrBits.Uint(0, 3)),
 		Type:   Type(hdrBits.Uint(3, 4)),
 		Flow:   hdrBits.Bit(7) == 1,
 		ARQN:   hdrBits.Bit(8) == 1,
 		SEQN:   hdrBits.Bit(9) == 1,
 	}
-	p := &Packet{AccessLAP: expectLAP, Header: h}
+	h := &a.h
+	a.p = Packet{AccessLAP: expectLAP, Header: h}
+	p := &a.p
 
-	body := rx.Slice(72+54, rx.Len())
 	switch h.Type {
 	case TypeNull, TypePoll:
 		return p, info, nil
 	}
+	body := rx.Slice(72+54, rx.Len())
 	if h.Type.IsSCO() {
 		return parseSCO(p, body, w, info)
 	}
@@ -457,11 +468,11 @@ func Parse(rx *bits.Vec, expectLAP uint32, uap uint8, clk uint32, threshold int)
 	}
 	if crcBits > 0 {
 		crc := uint16(body.Uint(end, 16))
-		if !coding.CheckCRC16(body.Slice(0, end), uap, crc) {
+		if coding.CRC16Range(body, 0, end, uap) != crc {
 			return nil, info, ErrCRC
 		}
 	}
-	p.Payload = body.Slice(phb, end).Bytes()
+	p.Payload = body.BytesRange(phb, end)
 	if length == 0 {
 		p.Payload = nil
 	}
@@ -495,7 +506,7 @@ func parseSCO(p *Packet, body *bits.Vec, w *coding.Whitener, info *RxInfo) (*Pac
 		}
 	}
 	w.Apply(body)
-	p.Payload = body.Slice(0, want).Bytes()
+	p.Payload = body.BytesRange(0, want)
 	return p, info, nil
 }
 

@@ -7,14 +7,19 @@
 // scheduled (a total order that plays the role of SystemC delta cycles),
 // which makes every simulation run bit-for-bit reproducible.
 //
-// The scheduler is allocation-free in steady state: event nodes live in a
-// pool indexed by the priority queue, and cancelled or fired slots are
-// recycled under a generation tag so stale EventIDs can never touch a
-// reused slot. See ARCHITECTURE.md, "Performance model".
+// The scheduler is a calendar queue over the 625 µs slot grid: near-future
+// events hash into per-slot buckets (O(1) schedule/cancel/pop for the
+// slot-aligned traffic that dominates the model) while far-future events —
+// supervision timeouts, long sniff intervals — wait in an overflow binary
+// heap until the calendar window reaches them. Event nodes live in a pool
+// and recycled slots carry a generation tag so stale EventIDs can never
+// touch a reused slot. The scheduler is allocation-free in steady state.
+// See ARCHITECTURE.md, "Performance model".
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Time is a simulation timestamp in ticks (0.5 µs units).
@@ -76,15 +81,24 @@ type EventID uint64
 const (
 	evFree      = iota // slot is on the free list
 	evPending          // scheduled, will fire
-	evCancelled        // still in the queue, dropped when popped
+	evCancelled        // still in the overflow heap, dropped when popped
+)
+
+// Where a pending event currently lives.
+const (
+	locNone = iota // free / not enqueued
+	locCal         // chained into a calendar bucket
+	locHeap        // in the overflow heap
 )
 
 type scheduledEvent struct {
 	at    Time
 	seq   uint64 // tie-break: schedule order
 	fn    Event
+	next  int32  // successor in the bucket chain (calendar only), -1 = none
 	gen   uint32 // slot generation, bumped on every release
 	state uint8
+	loc   uint8
 }
 
 func makeID(slot int32, gen uint32) EventID {
@@ -96,24 +110,75 @@ func decodeID(id EventID) (slot int32, gen uint32) {
 	return int32(uint32(id)) - 1, uint32(id >> 32)
 }
 
+// defaultBuckets is the initial calendar width in slots. 256 slots
+// (160 ms) covers Tpoll deadlines, sniff/hold wakeups and parked-master
+// horizons without a detour through the overflow heap; the calendar
+// doubles on its own when occupancy outgrows it.
+const defaultBuckets = 256
+
 // Kernel is the simulation scheduler. The zero value is not usable; create
 // one with NewKernel.
 type Kernel struct {
-	now       Time
-	nodes     []scheduledEvent // event pool; queue entries index into it
-	free      []int32          // recycled pool slots
-	queue     []int32          // binary min-heap over (at, seq)
-	live      int              // pending (not cancelled) events in queue
-	cancelled int              // cancelled entries still sitting in queue
-	nextSeq   uint64
-	running   bool
-	stopped   bool
-	tracers   []Tracer
+	now   Time
+	nodes []scheduledEvent // event pool; calendar chains and heap index into it
+	free  []int32          // recycled pool slots
+
+	// Calendar: one bucket per slot over a power-of-two window of
+	// [curSlot, curSlot+len(bucketHead)) slot indices. Chains are kept
+	// sorted by (at, seq); occ is a bitmap of non-empty buckets.
+	bucketHead []int32
+	bucketTail []int32
+	occ        []uint64
+	bmask      uint64 // len(bucketHead) - 1
+	curSlot    uint64 // slot index of the last fired event (cursor)
+	calLim     Time   // events with at < calLim go in the calendar; 0 = heap only
+	calCount   int
+
+	// Overflow heap: binary min-heap over (at, seq) for events at or
+	// beyond calLim. Cancellation here is lazy (tombstones + compaction).
+	heap          []int32
+	heapCancelled int
+
+	live    int // pending (not cancelled) events across both structures
+	nextSeq uint64
+	running bool
+	stopped bool
+	tracers []Tracer
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	k := &Kernel{}
+	k.initBuckets(defaultBuckets)
+	return k
+}
+
+// initBuckets (re)allocates the calendar arrays for n buckets (a power of
+// two, multiple of 64) and recomputes the window limit. Chains are not
+// preserved; callers re-insert.
+func (k *Kernel) initBuckets(n int) {
+	k.bucketHead = make([]int32, n)
+	k.bucketTail = make([]int32, n)
+	for i := range k.bucketHead {
+		k.bucketHead[i] = -1
+		k.bucketTail[i] = -1
+	}
+	k.occ = make([]uint64, n/64)
+	k.bmask = uint64(n) - 1
+	k.recalcLim()
+}
+
+// recalcLim recomputes the calendar window's exclusive upper bound. Near
+// the end of the time axis the window would overflow; calLim = 0 then
+// routes every new event to the overflow heap, which is ordering-correct
+// at any horizon.
+func (k *Kernel) recalcLim() {
+	end := k.curSlot + uint64(len(k.bucketHead))
+	if end < k.curSlot || end > ^uint64(0)/SlotTicks {
+		k.calLim = 0
+		return
+	}
+	k.calLim = Time(end * SlotTicks)
 }
 
 // Now returns the current simulation time.
@@ -121,6 +186,11 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports how many events are scheduled and not yet fired.
 func (k *Kernel) Pending() int { return k.live }
+
+// Traced reports whether any tracer is attached. Behavioural layers use
+// this to disable event-eliding fast paths that would hide signal
+// transitions from a waveform.
+func (k *Kernel) Traced() bool { return len(k.tracers) > 0 }
 
 // alloc takes a pool slot off the free list (or grows the pool).
 func (k *Kernel) alloc() int32 {
@@ -140,6 +210,8 @@ func (k *Kernel) release(slot int32) {
 	n.fn = nil // drop the closure reference eagerly
 	n.gen++
 	n.state = evFree
+	n.loc = locNone
+	n.next = -1
 	k.free = append(k.free, slot)
 }
 
@@ -157,7 +229,12 @@ func (k *Kernel) Schedule(delay Duration, fn Event) EventID {
 	k.nextSeq++
 	n := &k.nodes[slot]
 	n.at, n.seq, n.fn, n.state = at, k.nextSeq, fn, evPending
-	k.push(slot)
+	if k.calLim != 0 && at < k.calLim {
+		k.calInsert(slot)
+	} else {
+		n.loc = locHeap
+		k.heapPush(slot)
+	}
 	k.live++
 	return makeID(slot, n.gen)
 }
@@ -170,13 +247,250 @@ func (k *Kernel) At(t Time, fn Event) EventID {
 	return k.Schedule(Duration(t-k.now), fn)
 }
 
+// lessNode orders pool slots by (at, seq): earlier time first, then
+// schedule order — the same-tick total order that stands in for SystemC
+// delta cycles. seq is globally unique, so the order is total no matter
+// which structure the events sit in.
+func (k *Kernel) lessNode(a, b int32) bool {
+	na, nb := &k.nodes[a], &k.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+// --- calendar ---
+
+// bucketOf maps an event time to its bucket index. Only valid for times
+// inside the current window.
+func (k *Kernel) bucketOf(at Time) uint64 {
+	return (uint64(at) / SlotTicks) & k.bmask
+}
+
+// calInsertRaw chains slot s into its bucket, keeping the chain sorted by
+// (at, seq). Appends at the tail are O(1), which covers the dominant
+// pattern: per-slot callbacks re-armed in monotonically increasing
+// (at, seq) order.
+func (k *Kernel) calInsertRaw(s int32) {
+	n := &k.nodes[s]
+	n.loc = locCal
+	b := k.bucketOf(n.at)
+	h := k.bucketHead[b]
+	switch {
+	case h < 0:
+		k.bucketHead[b], k.bucketTail[b] = s, s
+		n.next = -1
+		k.occ[b>>6] |= 1 << (b & 63)
+	case k.lessNode(k.bucketTail[b], s):
+		k.nodes[k.bucketTail[b]].next = s
+		n.next = -1
+		k.bucketTail[b] = s
+	case k.lessNode(s, h):
+		n.next = h
+		k.bucketHead[b] = s
+	default:
+		p := h
+		for {
+			nx := k.nodes[p].next
+			if nx < 0 || k.lessNode(s, nx) {
+				break
+			}
+			p = nx
+		}
+		n.next = k.nodes[p].next
+		k.nodes[p].next = s
+	}
+}
+
+// calInsert is calInsertRaw plus census and skew handling: when live
+// calendar events outnumber buckets 2:1 the calendar doubles, widening
+// the window (which may strand fewer events in the overflow heap).
+func (k *Kernel) calInsert(s int32) {
+	k.calInsertRaw(s)
+	k.calCount++
+	if k.calCount > 2*len(k.bucketHead) {
+		k.growCalendar()
+	}
+}
+
+// growCalendar doubles the bucket count and rehashes every chained event.
+// Relative order is untouched: chains are rebuilt from the same (at, seq)
+// keys. Deferred migration of newly in-window heap events happens on the
+// next cursor advance.
+func (k *Kernel) growCalendar() {
+	moved := make([]int32, 0, k.calCount)
+	for b := range k.bucketHead {
+		for s := k.bucketHead[b]; s >= 0; {
+			nx := k.nodes[s].next
+			moved = append(moved, s)
+			s = nx
+		}
+	}
+	k.initBuckets(2 * len(k.bucketHead))
+	for _, s := range moved {
+		k.calInsertRaw(s)
+	}
+}
+
+// calUnlink removes slot s from its bucket chain (eager cancellation —
+// the calendar never carries tombstones).
+func (k *Kernel) calUnlink(s int32) {
+	n := &k.nodes[s]
+	b := k.bucketOf(n.at)
+	if k.bucketHead[b] == s {
+		k.bucketHead[b] = n.next
+		if n.next < 0 {
+			k.bucketTail[b] = -1
+			k.occ[b>>6] &^= 1 << (b & 63)
+		}
+	} else {
+		p := k.bucketHead[b]
+		for k.nodes[p].next != s {
+			p = k.nodes[p].next
+		}
+		k.nodes[p].next = n.next
+		if k.bucketTail[b] == s {
+			k.bucketTail[b] = p
+		}
+	}
+	k.calCount--
+}
+
+// occScan returns the first non-empty bucket index in [from, to), if any.
+func (k *Kernel) occScan(from, to uint64) (uint64, bool) {
+	for wi := from >> 6; wi < (to+63)>>6; wi++ {
+		w := k.occ[wi]
+		if wi == from>>6 {
+			w &= ^uint64(0) << (from & 63)
+		}
+		if w != 0 {
+			b := wi<<6 + uint64(bits.TrailingZeros64(w))
+			if b < to {
+				return b, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// calMin returns the pool slot of the earliest calendar event, or -1.
+// The scan starts at the cursor's bucket and wraps: within the window
+// [curSlot, curSlot+nb), circular bucket order equals slot order, and
+// each sorted chain keeps its minimum at the head.
+func (k *Kernel) calMin() int32 {
+	if k.calCount == 0 {
+		return -1
+	}
+	start := k.curSlot & k.bmask
+	if b, ok := k.occScan(start, uint64(len(k.bucketHead))); ok {
+		return k.bucketHead[b]
+	}
+	if b, ok := k.occScan(0, start); ok {
+		return k.bucketHead[b]
+	}
+	return -1
+}
+
+// --- overflow heap ---
+
+func (k *Kernel) heapPush(slot int32) {
+	k.heap = append(k.heap, slot)
+	q := k.heap
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.lessNode(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	q := k.heap
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && k.lessNode(q[right], q[left]) {
+			smallest = right
+		}
+		if !k.lessNode(q[smallest], q[i]) {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+}
+
+// heapPop removes and returns the head of the heap (which must not be
+// empty).
+func (k *Kernel) heapPop() int32 {
+	q := k.heap
+	head := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	k.heap = q[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	return head
+}
+
+// heapPeekLive drops (and recycles) cancelled entries at the head of the
+// heap and returns the pool slot of its next live event without removing
+// it (-1 when empty).
+func (k *Kernel) heapPeekLive() int32 {
+	for len(k.heap) > 0 {
+		head := k.heap[0]
+		if k.nodes[head].state == evPending {
+			return head
+		}
+		k.heapPop()
+		k.heapCancelled--
+		k.release(head)
+	}
+	return -1
+}
+
+// minCompactLen keeps compaction from churning on tiny heaps, where
+// lazy deletion is cheaper than a rebuild.
+const minCompactLen = 64
+
+// compact rebuilds the overflow heap without the cancelled entries.
+// Ordering is untouched: the heap invariant is re-established over the
+// same (at, seq) keys, so compaction can never change the event schedule.
+func (k *Kernel) compact() {
+	liveQ := k.heap[:0]
+	for _, slot := range k.heap {
+		if k.nodes[slot].state == evPending {
+			liveQ = append(liveQ, slot)
+		} else {
+			k.release(slot)
+		}
+	}
+	k.heap = liveQ
+	for i := len(k.heap)/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
+	}
+	k.heapCancelled = 0
+}
+
+// --- scheduling core ---
+
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op and reports false.
 //
-// Cancelled entries are dropped lazily when they reach the head of the
-// queue; once they outnumber the live entries the queue is compacted so
-// cancel-heavy workloads (supervision timeouts re-armed on every packet)
-// keep the heap proportional to the live event count.
+// Calendar events unlink eagerly (chains are short, and the bucket is
+// derivable from the timestamp). Heap entries are tombstoned and dropped
+// lazily when they surface; once tombstones outnumber the live entries
+// the heap is compacted so cancel-heavy workloads (supervision timeouts
+// re-armed on every packet) keep it proportional to the live count.
 func (k *Kernel) Cancel(id EventID) bool {
 	slot, gen := decodeID(id)
 	if slot < 0 || int(slot) >= len(k.nodes) {
@@ -186,135 +500,78 @@ func (k *Kernel) Cancel(id EventID) bool {
 	if n.state != evPending || n.gen != gen {
 		return false
 	}
-	n.state = evCancelled
-	n.fn = nil
 	k.live--
-	k.cancelled++
-	if k.cancelled > len(k.queue)/2 && len(k.queue) >= minCompactLen {
-		k.compact()
+	if n.loc == locCal {
+		k.calUnlink(slot)
+		k.release(slot)
+	} else {
+		n.state = evCancelled
+		n.fn = nil
+		k.heapCancelled++
+		if k.heapCancelled > len(k.heap)/2 && len(k.heap) >= minCompactLen {
+			k.compact()
+		}
 	}
 	return true
 }
 
-// minCompactLen keeps compaction from churning on tiny queues, where
-// lazy deletion is cheaper than a rebuild.
-const minCompactLen = 64
+// nextLive returns the pool slot of the earliest pending event without
+// removing it (-1 when none). Correctness does not depend on the window
+// invariant: the calendar minimum and the heap minimum are compared under
+// the global (at, seq) order, so even a degraded split (calLim = 0) keeps
+// the schedule exact.
+func (k *Kernel) nextLive() int32 {
+	c := k.calMin()
+	h := k.heapPeekLive()
+	if c < 0 {
+		return h
+	}
+	if h >= 0 && k.lessNode(h, c) {
+		return h
+	}
+	return c
+}
 
-// compact rebuilds the heap without the cancelled entries. Ordering is
-// untouched: the heap invariant is re-established over the same (at,
-// seq) keys, so compaction can never change the event schedule.
-func (k *Kernel) compact() {
-	liveQ := k.queue[:0]
-	for _, slot := range k.queue {
-		if k.nodes[slot].state == evPending {
-			liveQ = append(liveQ, slot)
-		} else {
-			k.release(slot)
+// take removes slot s — which must be the value nextLive just returned —
+// from its structure and advances the calendar cursor to its slot,
+// migrating newly in-window heap events into the calendar.
+func (k *Kernel) take(s int32) {
+	n := &k.nodes[s]
+	if n.loc == locCal {
+		b := k.bucketOf(n.at)
+		k.bucketHead[b] = n.next
+		if n.next < 0 {
+			k.bucketTail[b] = -1
+			k.occ[b>>6] &^= 1 << (b & 63)
 		}
+		k.calCount--
+	} else {
+		k.heapPop()
 	}
-	k.queue = liveQ
-	for i := len(k.queue)/2 - 1; i >= 0; i-- {
-		k.siftDown(i)
-	}
-	k.cancelled = 0
-}
-
-// less orders queue entries by (at, seq): earlier time first, then
-// schedule order — the same-tick total order that stands in for SystemC
-// delta cycles.
-func (k *Kernel) less(a, b int32) bool {
-	na, nb := &k.nodes[a], &k.nodes[b]
-	if na.at != nb.at {
-		return na.at < nb.at
-	}
-	return na.seq < nb.seq
-}
-
-func (k *Kernel) push(slot int32) {
-	k.queue = append(k.queue, slot)
-	// Sift up.
-	q := k.queue
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !k.less(q[i], q[parent]) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
+	if ns := uint64(n.at) / SlotTicks; ns > k.curSlot {
+		k.curSlot = ns
+		k.recalcLim()
+		k.migrate()
 	}
 }
 
-func (k *Kernel) siftDown(i int) {
-	q := k.queue
-	n := len(q)
+// migrate moves heap events that now fall inside the calendar window into
+// their buckets. Every migrated event's slot is at or beyond the cursor,
+// so the move can never reorder anything already due.
+func (k *Kernel) migrate() {
 	for {
-		left := 2*i + 1
-		if left >= n {
+		h := k.heapPeekLive()
+		if h < 0 || k.calLim == 0 || k.nodes[h].at >= k.calLim {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && k.less(q[right], q[left]) {
-			smallest = right
-		}
-		if !k.less(q[smallest], q[i]) {
-			return
-		}
-		q[i], q[smallest] = q[smallest], q[i]
-		i = smallest
+		k.heapPop()
+		k.calInsert(h)
 	}
 }
 
-// pop removes and returns the head of the queue (which must not be
-// empty).
-func (k *Kernel) pop() int32 {
-	q := k.queue
-	head := q[0]
-	last := len(q) - 1
-	q[0] = q[last]
-	k.queue = q[:last]
-	if last > 0 {
-		k.siftDown(0)
-	}
-	return head
-}
-
-// popLive is the single pop path shared by RunUntil and Step: it drops
-// (and recycles) cancelled entries at the head of the queue and pops the
-// next live event, returning its pool slot or -1 when the queue is
-// empty. Keeping one implementation means the cancelled-counter
-// bookkeeping cannot drift between the two run loops.
-func (k *Kernel) popLive() int32 {
-	for len(k.queue) > 0 {
-		slot := k.pop()
-		if k.nodes[slot].state != evPending {
-			k.cancelled--
-			k.release(slot)
-			continue
-		}
-		return slot
-	}
-	return -1
-}
-
-// peekLive drops cancelled entries at the head and returns the pool slot
-// of the next live event without removing it (-1 when empty).
-func (k *Kernel) peekLive() int32 {
-	for len(k.queue) > 0 {
-		head := k.queue[0]
-		if k.nodes[head].state == evPending {
-			return head
-		}
-		k.pop()
-		k.cancelled--
-		k.release(head)
-	}
-	return -1
-}
-
-// fire pops the event in slot off the bookkeeping, advances the clock
-// and runs the callback. The slot is released before the callback runs,
-// so cancelling the firing event's own ID from within it is a no-op.
+// fire advances the clock to the event in slot and runs its callback. The
+// slot is released before the callback runs, so cancelling the firing
+// event's own ID from within it is a no-op.
 func (k *Kernel) fire(slot int32) {
 	n := &k.nodes[slot]
 	k.now = n.at
@@ -322,6 +579,18 @@ func (k *Kernel) fire(slot int32) {
 	k.live--
 	k.release(slot)
 	fn()
+}
+
+// NextDue reports the timestamp of the earliest pending event, if any —
+// the kernel's quiescence probe. A caller holding a guarantee that no new
+// work arrives before that time (see channel.QuietUntil) may elide
+// intermediate bookkeeping events entirely.
+func (k *Kernel) NextDue() (Time, bool) {
+	s := k.nextLive()
+	if s < 0 {
+		return 0, false
+	}
+	return k.nodes[s].at, true
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
@@ -342,11 +611,12 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	k.stopped = false
 	defer func() { k.running = false }()
 	for !k.stopped {
-		head := k.peekLive()
-		if head < 0 || k.nodes[head].at > limit {
+		s := k.nextLive()
+		if s < 0 || k.nodes[s].at > limit {
 			break
 		}
-		k.fire(k.pop())
+		k.take(s)
+		k.fire(s)
 	}
 	if k.now < limit && limit != TimeMax {
 		k.now = limit
@@ -358,13 +628,14 @@ func (k *Kernel) RunUntil(limit Time) Time {
 // whether an event ran. Running() is true for the duration of the
 // callback, exactly as under RunUntil.
 func (k *Kernel) Step() bool {
-	slot := k.popLive()
+	slot := k.nextLive()
 	if slot < 0 {
 		return false
 	}
 	prev := k.running
 	k.running = true
 	defer func() { k.running = prev }()
+	k.take(slot)
 	k.fire(slot)
 	return true
 }

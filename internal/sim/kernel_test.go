@@ -205,13 +205,15 @@ func TestCancelCompactsQueue(t *testing.T) {
 	if k.Pending() != 1 {
 		t.Fatalf("pending = %d, want 1", k.Pending())
 	}
-	// Compaction must have dropped the cancelled entries instead of
-	// retaining them until their (distant) due times are popped.
-	if len(k.queue) > minCompactLen {
-		t.Fatalf("queue holds %d entries for 1 live event", len(k.queue))
+	// These events are far beyond the calendar window, so they all sit in
+	// the overflow heap; compaction must have dropped the cancelled
+	// entries instead of retaining them until their (distant) due times
+	// are popped.
+	if len(k.heap) > minCompactLen {
+		t.Fatalf("heap holds %d entries for 1 live event", len(k.heap))
 	}
-	if k.cancelled > len(k.queue) {
-		t.Fatalf("cancelled count %d exceeds queue length %d", k.cancelled, len(k.queue))
+	if k.heapCancelled > len(k.heap) {
+		t.Fatalf("cancelled count %d exceeds heap length %d", k.heapCancelled, len(k.heap))
 	}
 }
 
@@ -255,11 +257,113 @@ func TestCancelHeavyChurnStaysBounded(t *testing.T) {
 	for i := 0; i < 50000; i++ {
 		k.Cancel(id)
 		id = k.Schedule(Slots(100000+uint64(i)), nop)
-		if len(k.queue) > maxLen {
-			maxLen = len(k.queue)
+		if len(k.heap) > maxLen {
+			maxLen = len(k.heap)
 		}
 	}
 	if maxLen > 4*minCompactLen {
-		t.Fatalf("queue grew to %d entries under cancel churn", maxLen)
+		t.Fatalf("heap grew to %d entries under cancel churn", maxLen)
+	}
+}
+
+// TestCancelChurnInCalendarWindowUnlinksEagerly: the same re-arm pattern
+// on near-future (in-window) events must not leave tombstones at all —
+// calendar cancellation is an eager unlink.
+func TestCancelChurnInCalendarWindowUnlinksEagerly(t *testing.T) {
+	k := NewKernel()
+	nop := func() {}
+	var id EventID
+	id = k.Schedule(Slots(10), nop)
+	for i := 0; i < 50000; i++ {
+		k.Cancel(id)
+		id = k.Schedule(Slots(uint64(10+i%50)), nop)
+		if k.calCount != 1 {
+			t.Fatalf("calendar census = %d after re-arm %d, want 1", k.calCount, i)
+		}
+	}
+	if len(k.nodes) > 4 {
+		t.Fatalf("re-arm churn grew the pool to %d nodes", len(k.nodes))
+	}
+}
+
+// TestNextDue pins the quiescence probe: it must report the earliest
+// pending timestamp across both the calendar and the overflow heap,
+// see through cancelled heap tombstones, and go quiet when drained.
+func TestNextDue(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextDue(); ok {
+		t.Fatal("empty kernel reports work due")
+	}
+	far := k.Schedule(Slots(500000), func() {}) // overflow heap
+	if due, ok := k.NextDue(); !ok || due != Time(Slots(500000)) {
+		t.Fatalf("NextDue = %v,%v want far event", due, ok)
+	}
+	k.Schedule(Slots(3), func() {}) // calendar
+	if due, ok := k.NextDue(); !ok || due != Time(Slots(3)) {
+		t.Fatalf("NextDue = %v,%v want calendar event", due, ok)
+	}
+	k.RunUntil(Time(Slots(4)))
+	if due, ok := k.NextDue(); !ok || due != Time(Slots(500000)) {
+		t.Fatalf("NextDue after run = %v,%v want far event", due, ok)
+	}
+	k.Cancel(far)
+	if _, ok := k.NextDue(); ok {
+		t.Fatal("NextDue sees a cancelled heap event")
+	}
+	if k.Run() != Time(Slots(4)) || k.Pending() != 0 {
+		t.Fatal("drained kernel in a bad state")
+	}
+}
+
+// TestCalendarWindowMigration: events scheduled beyond the calendar
+// window start in the overflow heap and must migrate into the calendar
+// as the cursor advances, firing in exact (at, seq) order throughout.
+func TestCalendarWindowMigration(t *testing.T) {
+	k := NewKernel()
+	var fired []uint64
+	// Span several windows: defaultBuckets slots apart guarantees many
+	// events start out of window.
+	for i := 0; i < 50; i++ {
+		slot := uint64(i) * defaultBuckets / 3
+		k.At(Time(Slots(slot)), func() { fired = append(fired, slot) })
+	}
+	k.Run()
+	if len(fired) != 50 {
+		t.Fatalf("fired %d events, want 50", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("migration broke order: %v", fired)
+		}
+	}
+	if len(k.heap) != 0 || k.calCount != 0 {
+		t.Fatalf("leftover entries: heap=%d cal=%d", len(k.heap), k.calCount)
+	}
+}
+
+// TestCalendarGrowsOnSkew: pouring far more in-window events into the
+// calendar than it has buckets must trigger a resize, and the resize
+// must preserve the same-tick schedule order.
+func TestCalendarGrowsOnSkew(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	n := 4 * defaultBuckets
+	for i := 0; i < n; i++ {
+		i := i
+		// Many same-tick ties on a handful of nearby slots.
+		k.At(Time(Slots(uint64(i%7))), func() { fired = append(fired, i) })
+	}
+	if len(k.bucketHead) <= defaultBuckets {
+		t.Fatalf("calendar did not grow: %d buckets for %d events", len(k.bucketHead), n)
+	}
+	k.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a%7 > b%7 || (a%7 == b%7 && a > b) {
+			t.Fatalf("resize broke (at, seq) order at %d: %d before %d", i, a, b)
+		}
 	}
 }

@@ -167,16 +167,18 @@ func TestPooledOrderMatchesReference(t *testing.T) {
 
 // TestStepAndRunUntilShareCancelledBookkeeping drives the same
 // cancel-heavy schedule through Step and RunUntil interleaved; the
-// shared popLive path must keep the cancelled counter exact so
-// compaction never fires on a wrong census.
+// shared nextLive/take path must keep the tombstone counter exact so
+// heap compaction never fires on a wrong census. Far-future due times
+// force every event through the overflow heap, the lazy-cancel side.
 func TestStepAndRunUntilShareCancelledBookkeeping(t *testing.T) {
 	k := NewKernel()
 	fired := 0
 	var ids []EventID
+	base := Slots(1000000)
 	for i := 0; i < 4*minCompactLen; i++ {
-		ids = append(ids, k.Schedule(Duration(1+i), func() { fired++ }))
+		ids = append(ids, k.Schedule(base+Duration(1+i), func() { fired++ }))
 	}
-	// Cancel every other event: half the queue is tombstones.
+	// Cancel every other event: half the heap is tombstones.
 	for i := 0; i < len(ids); i += 2 {
 		k.Cancel(ids[i])
 	}
@@ -191,8 +193,9 @@ func TestStepAndRunUntilShareCancelledBookkeeping(t *testing.T) {
 	if fired != len(ids)/2 {
 		t.Fatalf("fired = %d, want %d", fired, len(ids)/2)
 	}
-	if k.cancelled != 0 || len(k.queue) != 0 {
-		t.Fatalf("bookkeeping drifted: cancelled=%d queue=%d", k.cancelled, len(k.queue))
+	if k.heapCancelled != 0 || len(k.heap) != 0 || k.calCount != 0 {
+		t.Fatalf("bookkeeping drifted: cancelled=%d heap=%d cal=%d",
+			k.heapCancelled, len(k.heap), k.calCount)
 	}
 }
 

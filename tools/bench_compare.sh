@@ -2,10 +2,18 @@
 # bench_compare.sh <raw-bench-output.txt> — warn-only trajectory check:
 # compares a fresh `go test -bench` run against the newest committed
 # bench/BENCH_*.json and prints per-benchmark deltas for ns/op and for
-# the replicas/s throughput metrics, flagging regressions beyond the
-# noise threshold. Always exits 0 — single-iteration smoke runs on
-# shared CI machines are far too noisy to gate a merge; the point is
-# that a regression is *visible* in the job log, not that it blocks.
+# every custom b.ReportMetric column, flagging regressions beyond each
+# metric's noise threshold. Always exits 0 — single-iteration smoke
+# runs on shared CI machines are far too noisy to gate a merge; the
+# point is that a regression is *visible* in the job log, not that it
+# blocks.
+#
+# Metrics fall into two classes with different thresholds:
+#   - timing/throughput (ns/op, replicas/s): machine-dependent, so
+#     only deltas past 25% are flagged;
+#   - figure result metrics (kbps, %saving@T100, TS@..., fail@...):
+#     fully seed-determined, so ANY drift beyond float formatting
+#     means the simulation's behaviour changed and is flagged.
 #
 # If benchstat is available the raw benchstat comparison is appended
 # (the committed JSON preserves benchmark-format lines for exactly
@@ -48,39 +56,57 @@ in_lines {
     print s
 }' "$base" > "$old_lines"
 
-# Join old and new per benchmark name and print the delta table.
+# Join old and new per (benchmark, metric unit) and print the delta
+# table: ns/op first, then every custom metric column the new run
+# reports. go's benchmark line format is `Name iterations v1 unit1 v2
+# unit2 ...`, so value/unit pairs start at field 3.
 awk '
 /^Benchmark/ && NF >= 2 {
     name = $1
-    nsop = ""
-    rps = ""
     for (i = 3; i + 1 <= NF; i += 2) {
-        if ($(i+1) == "ns/op") nsop = $i
-        if ($(i+1) == "replicas/s") rps = $i
+        u = $(i + 1)
+        if (FILENAME == ARGV[1]) { old[name SUBSEP u] = $i }
+        else {
+            new[name SUBSEP u] = $i
+            if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+            if (!((name SUBSEP u) in useen)) { units[name] = units[name] u "\n"; useen[name, u] = 1 }
+        }
     }
-    if (FILENAME == ARGV[1]) { oldns[name] = nsop; oldrps[name] = rps }
-    else { newns[name] = nsop; newrps[name] = rps; if (!(name in seen)) { order[n++] = name; seen[name] = 1 } }
 }
 END {
-    printf "%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    printf "%-52s %14s %14s %8s\n", "benchmark", "old", "new", "delta"
     warned = 0
     for (i = 0; i < n; i++) {
         name = order[i]
-        if (!(name in oldns) || oldns[name] == "" || newns[name] == "") continue
-        d = (newns[name] - oldns[name]) / oldns[name] * 100
-        flag = ""
-        # Smoke runs are single-iteration: only yell past 25%.
-        if (d > 25) { flag = "  <-- slower"; warned = 1 }
-        printf "%-52s %14d %14d %+7.1f%%%s\n", name, oldns[name], newns[name], d, flag
-        if (oldrps[name] != "" && newrps[name] != "") {
-            r = (newrps[name] - oldrps[name]) / oldrps[name] * 100
-            rflag = ""
-            if (r < -25) { rflag = "  <-- fewer replicas/s"; warned = 1 }
-            printf "%-52s %14.1f %14.1f %+7.1f%% replicas/s%s\n", "", oldrps[name], newrps[name], r, rflag
+        m = split(units[name], us, "\n")
+        shown = 0
+        for (j = 1; j <= m; j++) {
+            u = us[j]
+            if (u == "") continue
+            o = old[name SUBSEP u]
+            w = new[name SUBSEP u]
+            if (o == "" || w == "" || o + 0 == 0) continue
+            d = (w - o) / o * 100
+            flag = ""
+            if (u == "ns/op") {
+                # Smoke runs are single-iteration: only yell past 25%.
+                if (d > 25) { flag = "  <-- slower"; warned = 1 }
+            } else if (u == "replicas/s") {
+                if (d < -25) { flag = "  <-- fewer replicas/s"; warned = 1 }
+            } else {
+                # Custom figure metrics are seed-determined results, not
+                # timings: any drift beyond float-print noise means the
+                # simulation produced different numbers.
+                if (d > 0.05 || d < -0.05) { flag = "  <-- result metric drifted"; warned = 1 }
+            }
+            label = name
+            if (shown) label = ""
+            shown = 1
+            printf "%-52s %14.3f %14.3f %+7.1f%% %s%s\n", label, o, w, d, u, flag
         }
     }
-    if (warned) print "\nbench_compare: WARNING - possible perf regression vs committed baseline (warn-only; see deltas above)"
-    else print "\nbench_compare: no regression beyond the 25% noise threshold"
+    if (warned) print "\nbench_compare: WARNING - regression or result drift vs committed baseline (warn-only; see deltas above)"
+    else print "\nbench_compare: no timing regression beyond 25%, no result-metric drift"
 }' "$old_lines" "$new_raw"
 
 if command -v benchstat >/dev/null 2>&1; then
