@@ -36,7 +36,7 @@ func stderrIsTerminal() bool {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive, scatternet")
+	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive, scatternet, density")
 	seeds := flag.Int("seeds", 40, "simulation repetitions per sweep point (Figs 6-8)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "output file for waveform figures (5, 9); default fig<N>.vcd")
@@ -175,6 +175,9 @@ func main() {
 		case "scatternet":
 			rows := experiments.ScatternetSweep([]float64{0.2, 0.4, 0.6, 0.8, 1.0}, 20000, 4, *seed)
 			emit(experiments.ScatternetTable(rows))
+		case "density":
+			rows := experiments.DensitySweep([]int{1, 2, 4, 8, 16, 32, 48}, 20000, 4, *seed)
+			emit(experiments.DensityTable(rows))
 		case "throughput":
 			rows := experiments.PacketTypeThroughput(
 				[]packet.Type{packet.TypeDM1, packet.TypeDH1, packet.TypeDM3,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baseband"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/hop"
 	"repro/internal/netspec"
 	"repro/internal/packet"
@@ -76,6 +77,7 @@ var scenarioRegistry = []scenarioInfo{
 	{"scatternet", "-bridges bridges chain -bridges+1 piconets, L2CAP forwarded end to end"},
 	{"mixed", "-piconets piconets share the medium: SCO voice on the first, bulk ACL on the rest"},
 	{"mesh", "3-piconet scatternet with crossing end-to-end flows in both directions"},
+	{"dense", "-piconets piconets on a spatial office grid: path-loss range model, cell-sharded medium"},
 }
 
 // validScenario reports whether name is registered.
@@ -200,6 +202,10 @@ func buildSpec(scenario string, p trialParams) netspec.Spec {
 			traffic = append(traffic, netspec.BulkTraffic(i))
 		}
 		return netspec.Spec{Piconets: pics, Traffic: traffic, Probes: []netspec.Probe{slaveProbe}}
+	case "dense":
+		spec := experiments.DensitySpec(p.piconets)
+		spec.Probes = []netspec.Probe{slaveProbe}
+		return spec
 	case "mesh":
 		return netspec.Spec{
 			Piconets: netspec.HomogeneousPiconets(3, chainSlaves(p.slaves, 3)),
@@ -291,6 +297,8 @@ func runScenario(scenario string, seed uint64, p trialParams, trace io.Writer, l
 		m = runChain(w, p, logf, &out, true)
 	case "mixed":
 		m = runMixed(w, p, logf, &out)
+	case "dense":
+		m = runDense(w, p, logf, &out)
 	case "mesh":
 		m = runChain(w, p, logf, &out, false)
 	}
@@ -436,6 +444,37 @@ func runChain(w *netspec.World, p trialParams, logf func(string, ...any), out *t
 	}
 	out.Out.Observe("no_route_misses", m.RouteMisses == 0)
 	out.Out.Observe("radio_timeshared", m.MembershipSwitches > 0)
+	return &m
+}
+
+// runDense drives the spatial office-floor scenario: piconets on a
+// grid, delivery and interference governed by the path-loss range
+// model, the medium sharded into cells. Unlike coex, piconets far
+// enough apart here reuse the band instead of colliding.
+func runDense(w *netspec.World, p trialParams, logf func(string, ...any), out *trialOutcome) *netspec.Metrics {
+	logf("built %d piconets on a spatial office grid: %gm pitch, %gm delivery range, %gm interference reach\n",
+		len(w.Piconets), float64(experiments.DensitySpacingM), float64(experiments.DensityRangeM),
+		float64(experiments.DensityInterferenceM))
+	if pos, ok := w.Sim.Ch.PositionOf(netspec.MasterName(len(w.Piconets) - 1)); ok {
+		logf("last master sits at (%.0f, %.0f) m\n", pos.X, pos.Y)
+	}
+	w.Start()
+	w.Sim.RunSlots(64)
+	w.ResetMetrics()
+	w.Sim.RunSlots(p.slots)
+	m := w.Metrics()
+	total := 0.0
+	for i := range w.Piconets {
+		total += m.PiconetGoodputKbps(i)
+	}
+	logf("aggregate goodput %.1f kbps (%.1f kbps per link); collisions: %d inter-piconet, %d intra-piconet\n",
+		total, total/float64(len(w.Piconets)), m.Inter, m.Intra)
+	delivered := true
+	for _, b := range m.PerPiconet {
+		delivered = delivered && b > 0
+	}
+	out.Out.Observe("spatial_medium", w.Sim.Ch.Spatial())
+	out.Out.Observe("all_piconets_delivered", delivered)
 	return &m
 }
 

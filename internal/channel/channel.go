@@ -7,6 +7,14 @@
 // drop the packet. A device that is not transmitting leaves the wire in
 // high impedance 'Z'; frequency selectivity comes from the FHSS model:
 // a receiver only hears transmissions on the channel it is tuned to.
+//
+// The paper's medium is a single shared ether — every tuned radio
+// hears every transmission. EnableSpatial (see spatial.go) optionally
+// adds geometry on top: radios get floor positions, a two-threshold
+// path-loss model decides per-receiver reachability (delivery disc,
+// interference-only annulus, silence beyond), and the medium shards
+// into square cells so a transmission only scans its cell
+// neighbourhood instead of the global receivers slice.
 package channel
 
 import (
@@ -28,14 +36,15 @@ type Transmission struct {
 	Start    sim.Time // first bit leaves the antenna
 	End      sim.Time // last bit (excluding demodulator delay)
 	Bits     *bits.Vec
-	Meta     any  // opaque annotation (packet type) for stats/logs
-	collided bool // set when another transmission overlapped on Freq
+	Meta     any      // opaque annotation (packet type) for stats/logs
+	pos      Position // transmitter position (spatial medium only)
+	collided bool     // set when another transmission overlapped on Freq
 
 	// Pool plumbing: the owning channel, the snapshot of receivers that
 	// were tuned at Start (reused between incarnations), and the two
 	// delivery events, allocated once when the node is first created.
 	ch       *Channel
-	eligible []Listener
+	eligible []*tuneState
 	startFn  sim.Event // RxStart fan-out after the demodulator delay
 	endFn    sim.Event // delivery/collision fan-out at End + delay
 }
@@ -110,6 +119,7 @@ type Channel struct {
 	jammers     []Jammer
 	stats       Stats
 	onCollision func(existing, incoming *Transmission)
+	spatial     *spatialState // nil = the global shared ether (see spatial.go)
 
 	// Quiet-horizon bookkeeping (see quiet.go).
 	promises       []*TxPromise
@@ -121,13 +131,16 @@ type Channel struct {
 // tuneState tracks one listener's receiver. The struct persists across
 // Tune/Untune cycles (Untune only clears `on`), so the per-slot
 // receiver windows of every device reuse one allocation — and Transmit
-// scans the stable receivers slice instead of iterating a map.
+// scans the stable receivers slice (or, on a spatial medium, the cell
+// buckets) instead of iterating a map.
 type tuneState struct {
 	l     Listener
+	seq   int // registration order; ties the eligible sort (see sortListeners)
 	on    bool
 	freq  int
 	since sim.Time
 	busy  *Transmission // packet currently being received
+	pos   Position      // listener position (spatial medium only)
 }
 
 // New creates a channel on the kernel with its own noise RNG stream.
@@ -194,9 +207,12 @@ func (c *Channel) Tune(l Listener, freq int) {
 	}
 	st := c.tuned[l]
 	if st == nil {
-		st = &tuneState{l: l}
+		st = &tuneState{l: l, seq: len(c.receivers)}
 		c.tuned[l] = st
 		c.receivers = append(c.receivers, st)
+		if c.spatial != nil {
+			c.spatial.register(st)
+		}
 	} else if st.on && st.freq == freq && st.busy == nil {
 		return // already listening idle there; keep the original since-time
 	}
@@ -225,7 +241,9 @@ func (c *Channel) Tuned(l Listener) int {
 // Transmit puts v on the air at freq from device `from` (which may also
 // be a Listener; it never hears itself). Delivery happens at the end of
 // the packet plus the demodulator delay, to every listener that was
-// already tuned to freq when the first bit arrived and stayed tuned.
+// already tuned to freq when the first bit arrived and stayed tuned —
+// on a spatial medium, only those inside the transmitter's delivery
+// disc (see spatial.go).
 //
 // The returned pointer is only valid until the delivery event at
 // End + Delay: the node is recycled afterwards (fields zeroed or
@@ -236,6 +254,7 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 		panic("channel: empty transmission")
 	}
 	now := c.k.Now()
+	sp := c.spatial
 	tx := c.allocTx()
 	tx.From = from
 	tx.Freq = freq
@@ -243,6 +262,9 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 	tx.End = now + sim.Time(v.Len()*sim.BitTicks)
 	tx.Bits = v
 	tx.Meta = meta
+	if sp != nil {
+		tx.pos = sp.txPosition(from)
+	}
 	c.stats.Transmissions++
 	c.stats.PerFreq[freq].Transmissions++
 	if c.jammed(freq) {
@@ -252,9 +274,13 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 	}
 
 	// Collision resolution: any active transmission overlapping on the
-	// same frequency corrupts both (the resolver drives 'X').
+	// same frequency corrupts both (the resolver drives 'X'). On a
+	// spatial medium only transmitters close enough that one's
+	// interference annulus can reach into the other's delivery disc
+	// collide — farther apart, the frequency is spatially reused.
 	for _, other := range c.active {
-		if other.End > now && other.Freq == freq {
+		if other.End > now && other.Freq == freq &&
+			(sp == nil || dist2(other.pos, tx.pos) <= sp.collide2) {
 			if !other.collided {
 				c.stats.Collisions++
 				c.stats.PerFreq[freq].Collisions++
@@ -278,13 +304,18 @@ func (c *Channel) Transmit(from string, freq int, v *bits.Vec, meta any) *Transm
 	// already locked onto an earlier packet stays with it — a colliding
 	// newcomer corrupts that packet rather than hijacking the correlator,
 	// and at an exact end/start boundary the turnaround is a miss.
-	for _, st := range c.receivers {
-		if st.on && st.freq == freq && st.since <= now && st.busy == nil && st.l.Name() != from {
-			tx.eligible = append(tx.eligible, st.l)
-			st.busy = tx
+	if sp != nil {
+		sp.gatherEligible(tx, from)
+	} else {
+		for _, st := range c.receivers {
+			if st.on && st.freq == freq && st.since <= now && st.busy == nil && st.l.Name() != from {
+				tx.eligible = append(tx.eligible, st)
+				st.busy = tx
+			}
 		}
 	}
-	// Deterministic order regardless of registration order.
+	// Deterministic order regardless of registration, cell geometry or
+	// shard count (the spatial determinism contract).
 	sortListeners(tx.eligible)
 
 	c.inFlight++ // pin the quiet horizon until the delivery event runs
@@ -309,9 +340,9 @@ func (c *Channel) allocTx() *Transmission {
 
 // deliverStart fans RxStart out to the receivers still locked on tx.
 func (tx *Transmission) deliverStart() {
-	for _, l := range tx.eligible {
-		if st := tx.ch.tuned[l]; st != nil && st.busy == tx {
-			l.RxStart(tx)
+	for _, st := range tx.eligible {
+		if st.busy == tx {
+			st.l.RxStart(tx)
 		}
 	}
 }
@@ -321,19 +352,18 @@ func (tx *Transmission) deliverStart() {
 // the transmission node.
 func (tx *Transmission) deliverEnd() {
 	c := tx.ch
-	for _, l := range tx.eligible {
-		st := c.tuned[l]
-		if st == nil || st.busy != tx || !st.on || st.freq != tx.Freq {
+	for _, st := range tx.eligible {
+		if st.busy != tx || !st.on || st.freq != tx.Freq {
 			continue // retuned or stopped mid-packet
 		}
 		st.busy = nil
 		if tx.collided {
-			l.RxEnd(tx, nil, true)
+			st.l.RxEnd(tx, nil, true)
 			continue
 		}
 		c.stats.Deliveries++
 		c.stats.PerFreq[tx.Freq].Deliveries++
-		l.RxEnd(tx, c.corrupt(tx.Bits), false)
+		st.l.RxEnd(tx, c.corrupt(tx.Bits), false)
 	}
 	// The packet has left the air (End <= now), so it can no longer
 	// collide with anything; drop it from the active list and recycle.
@@ -376,11 +406,23 @@ func (c *Channel) pruneActive(now sim.Time) {
 	c.active = kept
 }
 
-// sortListeners orders by name for reproducibility.
-func sortListeners(ls []Listener) {
+// sortListeners orders the eligible snapshot by (name, registration
+// sequence) for reproducibility. The seq tiebreak pins the order even
+// for duplicate names and — the spatial determinism contract — makes
+// the result independent of the collection order, so the global scan
+// and any cell-shard geometry fan deliveries out identically.
+func sortListeners(ls []*tuneState) {
 	for i := 1; i < len(ls); i++ {
-		for j := i; j > 0 && ls[j].Name() < ls[j-1].Name(); j-- {
+		for j := i; j > 0 && less(ls[j], ls[j-1]); j-- {
 			ls[j], ls[j-1] = ls[j-1], ls[j]
 		}
 	}
+}
+
+func less(a, b *tuneState) bool {
+	an, bn := a.l.Name(), b.l.Name()
+	if an != bn {
+		return an < bn
+	}
+	return a.seq < b.seq
 }

@@ -1,0 +1,86 @@
+package channel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The spatial medium's perf contract: per-packet receiver work scales
+// with cell occupancy, not world population. The dense benchmark puts
+// every listener in the transmitter's neighbourhood (worst case, all
+// of them snapshot); the sparse benchmark spreads a much larger world
+// out so the 3x3 neighbourhood holds only a handful; the churn
+// benchmark prices mobility across a cell boundary.
+
+// benchWorld tunes n listeners at the given positions on frequency 0
+// and returns a kernel/channel pair ready to transmit.
+func benchWorld(b *testing.B, cfg SpatialConfig, pos []Position) (*sim.Kernel, *Channel) {
+	b.Helper()
+	k := sim.NewKernel()
+	c := New(k, sim.NewRand(1), Config{})
+	c.EnableSpatial(cfg)
+	c.Place("tx", Position{0, 0})
+	for i, p := range pos {
+		name := fmt.Sprintf("rx%04d", i)
+		c.Place(name, p)
+		c.Tune(&fakeRx{name: name}, 0)
+	}
+	return k, c
+}
+
+// BenchmarkSpatialDenseCell: 64 co-channel listeners inside one cell
+// with the transmitter — every packet snapshots all of them.
+func BenchmarkSpatialDenseCell(b *testing.B) {
+	pos := make([]Position, 64)
+	for i := range pos {
+		pos[i] = Position{float64(i % 8), float64(i / 8)}
+	}
+	k, c := benchWorld(b, SpatialConfig{RangeM: 20}, pos)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit("tx", 0, vec(50), nil)
+		k.Run()
+	}
+}
+
+// BenchmarkSpatialSparseWorld: 1024 listeners on a 100 m grid with a
+// 12 m range — the whole world is registered but each packet touches
+// only the transmitter's cell neighbourhood.
+func BenchmarkSpatialSparseWorld(b *testing.B) {
+	pos := make([]Position, 1024)
+	for i := range pos {
+		pos[i] = Position{float64(i%32) * 100, float64(i/32) * 100}
+	}
+	k, c := benchWorld(b, SpatialConfig{RangeM: 12, InterferenceM: 22}, pos)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit("tx", 0, vec(50), nil)
+		k.Run()
+	}
+}
+
+// BenchmarkSpatialCellChurn: a tuned listener ping-pongs across a cell
+// boundary every iteration — the unbucket/rebucket cost of mobility.
+func BenchmarkSpatialCellChurn(b *testing.B) {
+	pos := make([]Position, 64)
+	for i := range pos {
+		pos[i] = Position{float64(i % 8), float64(i / 8)}
+	}
+	_, c := benchWorld(b, SpatialConfig{RangeM: 20}, pos)
+	// CellM defaults to 2*RangeM = 40 m: these two positions live in
+	// adjacent cells.
+	a, z := Position{39, 0}, Position{41, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			c.Place("rx0000", a)
+		} else {
+			c.Place("rx0000", z)
+		}
+	}
+}

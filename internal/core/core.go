@@ -34,6 +34,7 @@ type Options struct {
 type Simulation struct {
 	K       *sim.Kernel
 	Ch      *channel.Channel
+	seed    uint64
 	rng     *sim.Rand
 	trace   *vcd.Writer
 	devices map[string]*baseband.Device
@@ -45,6 +46,7 @@ func NewSimulation(opt Options) *Simulation {
 	k := sim.NewKernel()
 	s := &Simulation{
 		K:       k,
+		seed:    opt.Seed,
 		rng:     sim.NewRand(opt.Seed),
 		devices: make(map[string]*baseband.Device),
 	}
@@ -103,6 +105,23 @@ func (s *Simulation) Devices() []*baseband.Device {
 // a deterministic point instead of sharing the root, so the world
 // stays bit-reproducible.
 func (s *Simulation) SplitRand() *sim.Rand { return s.rng.Split() }
+
+// DerivedRand returns a deterministic RNG stream keyed by (seed, tag)
+// WITHOUT advancing the root stream. Use it for optional layers —
+// e.g. netspec placement — whose randomness must not perturb the
+// device seeds and clock phases of a world built without them: the
+// same Options.Seed then reproduces the exact same base world whether
+// or not the optional layer draws. (SplitRand, by contrast, advances
+// the root by one draw and is right for always-on consumers.)
+func (s *Simulation) DerivedRand(tag string) *sim.Rand {
+	// FNV-1a over the tag, folded into the golden-ratio-scrambled seed.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tag); i++ {
+		h ^= uint64(tag[i])
+		h *= 1099511628211
+	}
+	return sim.NewRand(h ^ (s.seed+1)*0x9E3779B97F4A7C15)
+}
 
 // RunSlots advances the simulation by n slots.
 func (s *Simulation) RunSlots(n uint64) {

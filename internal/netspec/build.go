@@ -77,7 +77,8 @@ type World struct {
 	RouteMisses int
 
 	spec    Spec
-	owner   map[string]int // device name -> piconet index
+	layout  []piconetLayout // computed positions (nil without Placement)
+	owner   map[string]int  // device name -> piconet index
 	ctrl    map[string]*hci.Controller
 	nodes   map[string]*node
 	names   map[baseband.BDAddr]string
@@ -104,6 +105,19 @@ func Build(s *core.Simulation, spec Spec) (*World, error) {
 		Sim:   s,
 		spec:  spec,
 		owner: make(map[string]int),
+	}
+	if spec.Placement != nil {
+		// The layout draws from a stream derived from the seed without
+		// advancing the root RNG, so device seeds and clock phases stay
+		// exactly those of a placement-free world on the same seed.
+		w.layout = spec.layout(s.DerivedRand("netspec.placement"))
+		if err := w.checkBridgeReach(); err != nil {
+			return nil, err
+		}
+		s.Ch.EnableSpatial(channel.SpatialConfig{
+			RangeM:        spec.Placement.RangeM,
+			InterferenceM: spec.Placement.InterferenceM,
+		})
 	}
 	s.Ch.SetCollisionHook(w.onCollision)
 	for i := range spec.Piconets {
@@ -144,6 +158,9 @@ func (w *World) buildPiconet(i int) *PiconetState {
 	sp := w.spec.Piconets[i]
 	p := &PiconetState{Index: i, spec: sp}
 	mname := sp.Name + ".master"
+	if w.layout != nil {
+		w.Sim.Ch.Place(mname, w.layout[i].master)
+	}
 	p.Master = w.Sim.AddDevice(mname, baseband.Config{
 		Addr: baseband.BDAddr{
 			LAP: 0x1A0000 + uint32(i)*0x01357,
@@ -170,6 +187,9 @@ func (w *World) buildPiconet(i int) *PiconetState {
 			// continuously so retries land promptly.
 			cfg.PageScanWindowSlots = 2048
 			cfg.PageScanIntervalSlots = 2048
+		}
+		if w.layout != nil {
+			w.Sim.Ch.Place(sname, w.layout[i].slaves[j])
 		}
 		sl := w.Sim.AddDevice(sname, cfg)
 		w.owner[sname] = i

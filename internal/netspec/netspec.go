@@ -72,6 +72,11 @@ type Spec struct {
 	Modes []PowerMode
 	// Probes name metric selections surfaced by World.Metrics.
 	Probes []Probe
+	// Placement, when set, switches the world onto the spatial medium:
+	// devices get positions from the declared geometry and transmissions
+	// follow the path-loss range model (see placement.go). Nil keeps the
+	// paper's single shared ether.
+	Placement *Placement
 }
 
 // Piconet declares one master-plus-slaves group.
@@ -365,6 +370,11 @@ func (s Spec) withDefaults() Spec {
 		Modes:    append([]PowerMode(nil), s.Modes...),
 		Probes:   append([]Probe(nil), s.Probes...),
 	}
+	if s.Placement != nil {
+		pl := *s.Placement
+		pl.withDefaults(len(out.Piconets))
+		out.Placement = &pl
+	}
 	for i := range out.Piconets {
 		p := &out.Piconets[i]
 		if p.Name == "" {
@@ -483,6 +493,11 @@ func (s Spec) Validate() error { return s.withDefaults().validate() }
 func (s Spec) validate() error {
 	if len(s.Piconets) == 0 {
 		return errors.New("netspec: spec declares no piconets")
+	}
+	if s.Placement != nil {
+		if err := s.Placement.validate(); err != nil {
+			return err
+		}
 	}
 	// Bridges hosted per piconet count against the 7 active members.
 	hosted := make([]int, len(s.Piconets))

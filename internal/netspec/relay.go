@@ -209,6 +209,11 @@ func (w *World) registerChannel(nd *node, ch *l2cap.Channel) {
 // buildBridge creates bridge i and pages it into its two piconets.
 func (w *World) buildBridge(i int) *BridgeState {
 	sp := w.spec.Bridges[i]
+	if w.layout != nil {
+		// The relay stands midway between its two masters (reach was
+		// checked against the layout before any device was built).
+		w.Sim.Ch.Place(BridgeName(i), bridgePosition(w.layout[sp.A].master, w.layout[sp.B].master))
+	}
 	d := w.Sim.AddDevice(BridgeName(i), baseband.Config{
 		Addr: baseband.BDAddr{
 			LAP: 0x7D0000 + uint32(i)*0x11111,
