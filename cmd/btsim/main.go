@@ -50,12 +50,15 @@ func main() {
 	presence := flag.Float64("presence", 0.8, "bridge presence duty cycle in (0,1] (scatternet scenario)")
 	trials := flag.Int("trials", 1, "replicate the scenario this many times through the parallel runner")
 	workers := flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS, -1 = serial)")
+	shards := flag.Int("shards", 1, "kernel event-queue shards per world (output is identical for any value)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenarioUsage())
 	}
 	flag.Parse()
+
+	core.SetDefaultShards(*shards)
 
 	p := trialParams{
 		slaves: *slaves, ber: *ber, seed: *seed,

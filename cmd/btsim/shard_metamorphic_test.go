@@ -1,0 +1,71 @@
+package main
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netspec"
+	"repro/internal/stats"
+)
+
+// Metamorphic determinism matrix for the sharded conservative kernel:
+// the dense, mixed and mesh scenarios — the three workloads that
+// exercise many piconets, bridged chains and the spatial medium — must
+// produce identical World.Metrics() for every combination of kernel
+// shard count {1, 2, 4, 8} and GOMAXPROCS {1, 4}. Shard assignment,
+// window placement and forked queue refresh are implementation details;
+// any metric that moves with them is a determinism bug. Runs under
+// -race in its own CI step (GOMAXPROCS=4 forces the forked refresh
+// path even on single-core runners).
+func TestShardMetamorphicMatrix(t *testing.T) {
+	p := trialParams{
+		slaves: 2, ber: 0, seed: 1, slots: 600,
+		tsniff: 50, thold: 100,
+		piconets: 2, assessWindow: 500, jamDuty: 0.9, jamWidth: 23,
+		bridges: 1, presence: 0.8,
+	}
+	noop := func(string, ...any) {}
+	run := func(scenario string, shards, procs int) netspec.Metrics {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		s := core.NewSimulation(core.Options{Seed: p.seed, BER: p.ber, Shards: shards})
+		w, err := netspec.Build(s, buildSpec(scenario, p))
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		var out trialOutcome
+		out.Out = stats.CounterMap{}
+		var m *netspec.Metrics
+		switch scenario {
+		case "dense":
+			m = runDense(w, p, noop, &out)
+		case "mixed":
+			m = runMixed(w, p, noop, &out)
+		case "mesh":
+			m = runChain(w, p, noop, &out, false)
+		}
+		if st := s.K.ShardStats(); shards > 1 && st.Windows == 0 {
+			t.Fatalf("%s shards=%d: conservative windowing never engaged", scenario, shards)
+		}
+		return *m
+	}
+	for _, scenario := range []string{"dense", "mixed", "mesh"} {
+		t.Run(scenario, func(t *testing.T) {
+			want := run(scenario, 1, 1)
+			for _, shards := range []int{1, 2, 4, 8} {
+				for _, procs := range []int{1, 4} {
+					if shards == 1 && procs == 1 {
+						continue
+					}
+					got := run(scenario, shards, procs)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("shards=%d GOMAXPROCS=%d metrics diverged:\ngot:  %+v\nwant: %+v",
+							shards, procs, got, want)
+					}
+				}
+			}
+		})
+	}
+}

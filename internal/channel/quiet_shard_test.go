@@ -1,0 +1,166 @@
+package channel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/sim"
+)
+
+// Satellite coverage for quiet-horizon revocation racing a shard-window
+// edge. quiet_test.go pins the promise/watcher machinery on the serial
+// kernel; here the kernel is sharded, delivery events are routed to a
+// transmitter's home shard (as core wires it), and the coupling horizon
+// feeding the kernel's windows is channel.QuietUntil itself. The race
+// under test: a wide promise lets the kernel open a generous window,
+// then — with another shard already holding an in-window transmission —
+// the promise is revoked and a new transmission starts earlier than the
+// window assumed. The revocation must notify watchers synchronously,
+// retract the window, and leave every delivery (including the
+// cross-shard collision) byte-identical to the serial kernel's.
+
+// retractor mirrors core's horizonWatcher: a QuietWatcher that pulls
+// the kernel's open window back to the new horizon.
+type retractor struct {
+	k *sim.Kernel
+	c *Channel
+	n int
+}
+
+func (r *retractor) QuietHorizonShrunk() {
+	r.n++
+	r.k.RetractWindow(r.c.QuietUntil())
+}
+
+// quietShardScript runs the revocation-vs-window-edge scenario on a
+// kernel with the given shard count and returns a trace of everything
+// observable: delivery timeline, watcher activations, channel stats.
+func quietShardScript(shards int) string {
+	k := sim.NewKernelShards(shards)
+	c := New(k, sim.NewRand(77), Config{BER: 0, Delay: 2})
+	var trace []string
+	rx := &traceRx{name: "rx", out: &trace, k: k}
+	rx2 := &traceRx{name: "rx2", out: &trace, k: k}
+	c.Tune(rx, 10)
+	c.Tune(rx2, 10)
+
+	// Route each transmitter's delivery events to its own shard, the
+	// way core does per spatial cell: "early" lives on the last shard,
+	// "late" on shard 0.
+	homes := map[string]int{"early": shards - 1, "late": 0}
+	c.SetShardRouter(func(from string) int { return homes[from] })
+
+	w := &retractor{k: k, c: c}
+	c.WatchQuiet(w)
+	if shards > 1 {
+		k.SetCouplingHorizon(c.QuietUntil)
+	}
+
+	// A reactive-only transmitter: promise = TimeMax, so the kernel's
+	// first window opens as wide as the schedule allows.
+	p := c.NewTxPromise(sim.TimeMax)
+
+	// Shard 0 holds an in-window transmission ending at t=900*2+1000+2.
+	k.ScheduleOn(0, 1000, func() { c.Transmit("late", 10, vec(900), nil) })
+
+	// Mid-flight, from the opposite shard, the promise is revoked and a
+	// transmission starts immediately — earlier than any open window
+	// assumed, overlapping the in-flight packet on the same frequency.
+	k.ScheduleOn((shards-1)%shards, 1400, func() {
+		p.Promise(k.Now()) // revocation: watcher fires synchronously
+		c.Transmit("early", 10, vec(200), nil)
+	})
+
+	// A later clean packet proves the world keeps running after the
+	// revoked window.
+	k.ScheduleOn(0, sim.SlotTicks*20, func() { c.Transmit("late", 10, vec(100), nil) })
+
+	k.Run()
+	st := c.Stats()
+	trace = append(trace,
+		fmt.Sprintf("watcher=%d", w.n),
+		fmt.Sprintf("tx=%d collisions=%d deliveries=%d flipped=%d",
+			st.Transmissions, st.Collisions, st.Deliveries, st.FlippedBits),
+		fmt.Sprintf("end=%v pending=%d", k.Now(), k.Pending()))
+	return fmt.Sprint(trace)
+}
+
+// traceRx records every receiver callback with its timestamp.
+type traceRx struct {
+	name string
+	out  *[]string
+	k    *sim.Kernel
+}
+
+func (r *traceRx) Name() string { return r.name }
+func (r *traceRx) RxStart(tx *Transmission) {
+	*r.out = append(*r.out, fmt.Sprintf("%v %s start %s", r.k.Now(), r.name, tx.From))
+}
+func (r *traceRx) RxEnd(tx *Transmission, rx *bits.Vec, collided bool) {
+	n := -1 // collided deliveries carry no payload
+	if rx != nil {
+		n = rx.Len()
+	}
+	*r.out = append(*r.out, fmt.Sprintf("%v %s end %s collided=%v len=%d",
+		r.k.Now(), r.name, tx.From, collided, n))
+}
+
+func TestQuietRevocationRacesShardWindowEdge(t *testing.T) {
+	serial := quietShardScript(1)
+	for _, shards := range []int{2, 4} {
+		if got := quietShardScript(shards); got != serial {
+			t.Fatalf("shards=%d diverged from serial:\nserial:  %s\nsharded: %s", shards, serial, got)
+		}
+	}
+	// The scenario must actually contain the race it claims to cover:
+	// two watcher activations (promise registration + the mid-flight
+	// revocation) and the collision the revoked window was hiding.
+	for _, needle := range []string{"watcher=2", "collisions=2"} {
+		if !strings.Contains(serial, needle) {
+			t.Fatalf("scenario lost its race ingredients (%q missing):\n%s", needle, serial)
+		}
+	}
+}
+
+// TestQuietWatcherSeesInFlightPinWhileShardWindowOpen: the revocation
+// notification runs while another shard's transmission is mid-air, so
+// the watcher's own QuietUntil read must come back pinned to now — the
+// retraction target is the present, not the revoked promise's old
+// horizon.
+func TestQuietWatcherSeesInFlightPinWhileShardWindowOpen(t *testing.T) {
+	k := sim.NewKernelShards(2)
+	c := New(k, sim.NewRand(77), Config{BER: 0, Delay: 2})
+	rx := &fakeRx{name: "rx"}
+	c.Tune(rx, 10)
+	c.SetShardRouter(func(from string) int {
+		if from == "m" {
+			return 1
+		}
+		return 0
+	})
+	k.SetCouplingHorizon(c.QuietUntil)
+	p := c.NewTxPromise(sim.TimeMax)
+	pinned := false
+	w := &fakeWatcher{name: "w"}
+	w.onEvent = func(*fakeWatcher) {
+		if q := c.QuietUntil(); q == k.Now() {
+			pinned = true
+			k.RetractWindow(q)
+		} else {
+			t.Errorf("watcher saw horizon %v with a packet in flight (now %v)", q, k.Now())
+		}
+	}
+	c.WatchQuiet(w)
+	// Shard 1 holds the in-flight transmission; shard 0 revokes mid-air.
+	k.ScheduleOn(1, 100, func() { c.Transmit("m", 10, vec(400), nil) })
+	k.ScheduleOn(0, 300, func() { p.Promise(k.Now() + 50) })
+	k.Run()
+	if w.shrunk == 0 || !pinned {
+		t.Fatalf("revocation not observed under in-flight pin (shrunk=%d pinned=%v)", w.shrunk, pinned)
+	}
+	if len(rx.got) != 1 {
+		t.Fatalf("delivery broken by the revocation: %d packets", len(rx.got))
+	}
+}

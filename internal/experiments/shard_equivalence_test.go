@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// TestFiguresShardEquivalence is the headline shard-equivalence pin:
+// every figure table in the paper set plus both VCD waveform digests,
+// rendered on a serial kernel and on a 4-shard conservative kernel,
+// must be byte-identical. The sharded kernel changes how event queues
+// are stored and advanced — never what fires when — so any divergence
+// here means the conservative windowing reordered an event, which
+// would silently corrupt every figure. Runs under -race in its own CI
+// step (shard refresh is the kernel's only forked code path).
+func TestFiguresShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every figure twice")
+	}
+	defer runner.SetDefaultWorkers(0)
+	defer core.SetDefaultShards(0)
+	runner.SetDefaultWorkers(runner.Serial)
+
+	core.SetDefaultShards(1)
+	serial := renderAllFigures()
+
+	core.SetDefaultShards(4)
+	sharded := renderAllFigures()
+
+	if serial != sharded {
+		t.Fatalf("shards=4 output diverged from shards=1:\n--- shards=1 ---\n%s\n--- shards=4 ---\n%s",
+			serial, sharded)
+	}
+}

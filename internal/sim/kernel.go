@@ -15,6 +15,13 @@
 // and recycled slots carry a generation tag so stale EventIDs can never
 // touch a reused slot. The scheduler is allocation-free in steady state.
 // See ARCHITECTURE.md, "Performance model".
+//
+// A kernel optionally runs in sharded conservative mode (NewKernelShards):
+// the event queue partitions into independent per-shard calendar queues
+// advanced inside coupling-horizon-bounded time windows, while callbacks
+// still execute in the single global (at, seq) order — shard count is
+// unobservable in output. See shard.go and ARCHITECTURE.md, "Conservative
+// parallelism".
 package sim
 
 import (
@@ -70,13 +77,30 @@ func (t Time) String() string {
 type Event func()
 
 // EventID identifies a scheduled event so it can be cancelled. An ID
-// packs the pool slot of the event with the slot's generation at
-// scheduling time, so an ID held past its event's firing (or
-// cancellation) is recognised as stale even after the slot is recycled.
+// packs the owning shard and pool slot of the event with the slot's
+// generation at scheduling time, so an ID held past its event's firing
+// (or cancellation) is recognised as stale even after the slot is
+// recycled.
 type EventID uint64
 
 // The zero EventID is never issued (slots are encoded +1), so callers
 // can use 0 as "no event pending".
+
+// EventID layout: bits 0..23 pool slot + 1, bits 24..31 owning shard,
+// bits 32..63 generation tag.
+const (
+	idSlotBits = 24
+	idSlotMask = 1<<idSlotBits - 1
+
+	// MaxShards bounds NewKernelShards: the shard index must fit the
+	// EventID's shard field.
+	MaxShards = 256
+
+	// maxPoolSlots caps one shard's event pool so slot+1 fits the ID's
+	// slot field. ~16.7M simultaneously pending events per shard is far
+	// beyond any world this model builds; exceeding it panics loudly.
+	maxPoolSlots = idSlotMask - 1
+)
 
 const (
 	evFree      = iota // slot is on the free list
@@ -101,13 +125,13 @@ type scheduledEvent struct {
 	loc   uint8
 }
 
-func makeID(slot int32, gen uint32) EventID {
-	return EventID(uint64(gen)<<32 | uint64(uint32(slot+1)))
+func makeID(shard int, slot int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(shard)<<idSlotBits | uint64(uint32(slot+1)))
 }
 
-// decodeID splits an EventID into pool slot and generation.
-func decodeID(id EventID) (slot int32, gen uint32) {
-	return int32(uint32(id)) - 1, uint32(id >> 32)
+// decodeID splits an EventID into owning shard, pool slot and generation.
+func decodeID(id EventID) (shard int, slot int32, gen uint32) {
+	return int(uint32(id) >> idSlotBits), int32(uint32(id)&idSlotMask) - 1, uint32(id >> 32)
 }
 
 // defaultBuckets is the initial calendar width in slots. 256 slots
@@ -116,10 +140,20 @@ func decodeID(id EventID) (slot int32, gen uint32) {
 // doubles on its own when occupancy outgrows it.
 const defaultBuckets = 256
 
-// Kernel is the simulation scheduler. The zero value is not usable; create
-// one with NewKernel.
-type Kernel struct {
-	now   Time
+// Cached-head sentinels (shardQueue.head).
+const (
+	headNone    = int32(-1) // known empty: no pending event in this shard
+	headUnknown = int32(-2) // cache invalid; recompute via peek
+)
+
+// shardQueue is one shard's event queue: a calendar over the slot grid
+// plus an overflow heap and a pooled node store, exactly the structure
+// the whole kernel used to be. A single-shard kernel is one shardQueue;
+// a sharded kernel merges N of them under the global (at, seq) order.
+// All shardQueue methods touch only the shard's own state, which is
+// what makes the window-edge fork-join in shard.go race-free.
+type shardQueue struct {
+	id    int
 	nodes []scheduledEvent // event pool; calendar chains and heap index into it
 	free  []int32          // recycled pool slots
 
@@ -139,53 +173,90 @@ type Kernel struct {
 	heap          []int32
 	heapCancelled int
 
-	live    int // pending (not cancelled) events across both structures
+	live int   // pending (not cancelled) events in this shard
+	head int32 // cached earliest live pool slot (headNone / headUnknown)
+}
+
+// Kernel is the simulation scheduler. The zero value is not usable; create
+// one with NewKernel (serial) or NewKernelShards (sharded conservative
+// mode — see shard.go).
+type Kernel struct {
+	now     Time
+	shards  []*shardQueue
+	cur     int // shard affinity: where Schedule puts new events
 	nextSeq uint64
 	running bool
 	stopped bool
 	tracers []Tracer
+
+	// Conservative windowing (sharded mode only; see shard.go).
+	horizon    func() Time // medium-coupling horizon probe, nil = none
+	windowEnd  Time        // exclusive end of the current window
+	windows    uint64      // barriers crossed (window openings)
+	parRefresh uint64      // window openings that forked per-shard refresh
+	scratch    []*shardQueue
 }
 
-// NewKernel returns an empty kernel at time zero.
-func NewKernel() *Kernel {
-	k := &Kernel{}
-	k.initBuckets(defaultBuckets)
+// NewKernel returns an empty single-shard kernel at time zero.
+func NewKernel() *Kernel { return NewKernelShards(1) }
+
+// NewKernelShards returns an empty kernel at time zero whose event queue
+// is partitioned into n independent shards (1 <= n <= MaxShards). Event
+// execution order is identical for every n — sharding changes how the
+// queue is stored and advanced, never what fires when; the shard
+// equivalence suite pins this.
+func NewKernelShards(n int) *Kernel {
+	if n < 1 || n > MaxShards {
+		panic(fmt.Sprintf("sim: shard count %d out of 1..%d", n, MaxShards))
+	}
+	k := &Kernel{shards: make([]*shardQueue, n)}
+	for i := range k.shards {
+		sq := &shardQueue{id: i, head: headNone}
+		sq.initBuckets(defaultBuckets)
+		k.shards[i] = sq
+	}
 	return k
 }
 
 // initBuckets (re)allocates the calendar arrays for n buckets (a power of
 // two, multiple of 64) and recomputes the window limit. Chains are not
 // preserved; callers re-insert.
-func (k *Kernel) initBuckets(n int) {
-	k.bucketHead = make([]int32, n)
-	k.bucketTail = make([]int32, n)
-	for i := range k.bucketHead {
-		k.bucketHead[i] = -1
-		k.bucketTail[i] = -1
+func (sq *shardQueue) initBuckets(n int) {
+	sq.bucketHead = make([]int32, n)
+	sq.bucketTail = make([]int32, n)
+	for i := range sq.bucketHead {
+		sq.bucketHead[i] = -1
+		sq.bucketTail[i] = -1
 	}
-	k.occ = make([]uint64, n/64)
-	k.bmask = uint64(n) - 1
-	k.recalcLim()
+	sq.occ = make([]uint64, n/64)
+	sq.bmask = uint64(n) - 1
+	sq.recalcLim()
 }
 
 // recalcLim recomputes the calendar window's exclusive upper bound. Near
 // the end of the time axis the window would overflow; calLim = 0 then
 // routes every new event to the overflow heap, which is ordering-correct
 // at any horizon.
-func (k *Kernel) recalcLim() {
-	end := k.curSlot + uint64(len(k.bucketHead))
-	if end < k.curSlot || end > ^uint64(0)/SlotTicks {
-		k.calLim = 0
+func (sq *shardQueue) recalcLim() {
+	end := sq.curSlot + uint64(len(sq.bucketHead))
+	if end < sq.curSlot || end > ^uint64(0)/SlotTicks {
+		sq.calLim = 0
 		return
 	}
-	k.calLim = Time(end * SlotTicks)
+	sq.calLim = Time(end * SlotTicks)
 }
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (k *Kernel) Pending() int { return k.live }
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, sq := range k.shards {
+		n += sq.live
+	}
+	return n
+}
 
 // Traced reports whether any tracer is attached. Behavioural layers use
 // this to disable event-eliding fast paths that would hide signal
@@ -193,50 +264,75 @@ func (k *Kernel) Pending() int { return k.live }
 func (k *Kernel) Traced() bool { return len(k.tracers) > 0 }
 
 // alloc takes a pool slot off the free list (or grows the pool).
-func (k *Kernel) alloc() int32 {
-	if n := len(k.free); n > 0 {
-		slot := k.free[n-1]
-		k.free = k.free[:n-1]
+func (sq *shardQueue) alloc() int32 {
+	if n := len(sq.free); n > 0 {
+		slot := sq.free[n-1]
+		sq.free = sq.free[:n-1]
 		return slot
 	}
-	k.nodes = append(k.nodes, scheduledEvent{})
-	return int32(len(k.nodes) - 1)
+	if len(sq.nodes) >= maxPoolSlots {
+		panic(fmt.Sprintf("sim: shard %d event pool exceeds %d pending events", sq.id, maxPoolSlots))
+	}
+	sq.nodes = append(sq.nodes, scheduledEvent{})
+	return int32(len(sq.nodes) - 1)
 }
 
 // release recycles a pool slot, bumping its generation so any EventID
 // still referring to it is recognised as stale.
-func (k *Kernel) release(slot int32) {
-	n := &k.nodes[slot]
+func (sq *shardQueue) release(slot int32) {
+	n := &sq.nodes[slot]
 	n.fn = nil // drop the closure reference eagerly
 	n.gen++
 	n.state = evFree
 	n.loc = locNone
 	n.next = -1
-	k.free = append(k.free, slot)
+	sq.free = append(sq.free, slot)
 }
 
-// Schedule runs fn after delay ticks. A delay of zero fires fn later in
+// Schedule runs fn after delay ticks on the current affinity shard (the
+// shard of the event being fired, so a device's self-rescheduling slot
+// loops stay on the device's shard). A delay of zero fires fn later in
 // the current tick, after all previously scheduled same-time events.
 func (k *Kernel) Schedule(delay Duration, fn Event) EventID {
+	return k.ScheduleOn(k.cur, delay, fn)
+}
+
+// ScheduleOn runs fn after delay ticks on an explicit shard — the
+// cross-shard hand-off primitive (e.g. a delivery event routed to the
+// receiver cell's owning shard). On a single-shard kernel, shard 0 is
+// the only legal value. The target shard changes nothing about when fn
+// fires relative to other events; the global (at, seq) order is shared
+// by all shards.
+func (k *Kernel) ScheduleOn(shard int, delay Duration, fn Event) EventID {
 	if fn == nil {
 		panic("sim: Schedule called with nil event")
+	}
+	if shard < 0 || shard >= len(k.shards) {
+		panic(fmt.Sprintf("sim: ScheduleOn(%d) with %d shards", shard, len(k.shards)))
 	}
 	at := k.now + Time(delay)
 	if at < k.now {
 		panic(fmt.Sprintf("sim: Schedule(%d) overflows the time axis (now %v)", uint64(delay), k.now))
 	}
-	slot := k.alloc()
+	sq := k.shards[shard]
+	slot := sq.alloc()
 	k.nextSeq++
-	n := &k.nodes[slot]
+	n := &sq.nodes[slot]
 	n.at, n.seq, n.fn, n.state = at, k.nextSeq, fn, evPending
-	if k.calLim != 0 && at < k.calLim {
-		k.calInsert(slot)
+	if sq.calLim != 0 && at < sq.calLim {
+		sq.calInsert(slot)
 	} else {
 		n.loc = locHeap
-		k.heapPush(slot)
+		sq.heapPush(slot)
 	}
-	k.live++
-	return makeID(slot, n.gen)
+	sq.live++
+	// Keep the cached head exact: a valid cache stays valid unless the
+	// newcomer is the new minimum (a new event can never un-schedule the
+	// old minimum).
+	if sq.head == headNone || (sq.head >= 0 && sq.lessNode(slot, sq.head)) {
+		sq.head = slot
+	}
+	return makeID(shard, slot, n.gen)
 }
 
 // At runs fn at absolute time t, which must not be in the past.
@@ -247,69 +343,73 @@ func (k *Kernel) At(t Time, fn Event) EventID {
 	return k.Schedule(Duration(t-k.now), fn)
 }
 
-// lessNode orders pool slots by (at, seq): earlier time first, then
+// lessEvent orders events by (at, seq): earlier time first, then
 // schedule order — the same-tick total order that stands in for SystemC
-// delta cycles. seq is globally unique, so the order is total no matter
-// which structure the events sit in.
-func (k *Kernel) lessNode(a, b int32) bool {
-	na, nb := &k.nodes[a], &k.nodes[b]
-	if na.at != nb.at {
-		return na.at < nb.at
+// delta cycles. seq is issued by one kernel-global counter, so the order
+// is total across every shard and structure.
+func lessEvent(a, b *scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return na.seq < nb.seq
+	return a.seq < b.seq
+}
+
+// lessNode is lessEvent over two pool slots of the same shard.
+func (sq *shardQueue) lessNode(a, b int32) bool {
+	return lessEvent(&sq.nodes[a], &sq.nodes[b])
 }
 
 // --- calendar ---
 
 // bucketOf maps an event time to its bucket index. Only valid for times
 // inside the current window.
-func (k *Kernel) bucketOf(at Time) uint64 {
-	return (uint64(at) / SlotTicks) & k.bmask
+func (sq *shardQueue) bucketOf(at Time) uint64 {
+	return (uint64(at) / SlotTicks) & sq.bmask
 }
 
 // calInsertRaw chains slot s into its bucket, keeping the chain sorted by
 // (at, seq). Appends at the tail are O(1), which covers the dominant
 // pattern: per-slot callbacks re-armed in monotonically increasing
 // (at, seq) order.
-func (k *Kernel) calInsertRaw(s int32) {
-	n := &k.nodes[s]
+func (sq *shardQueue) calInsertRaw(s int32) {
+	n := &sq.nodes[s]
 	n.loc = locCal
-	b := k.bucketOf(n.at)
-	h := k.bucketHead[b]
+	b := sq.bucketOf(n.at)
+	h := sq.bucketHead[b]
 	switch {
 	case h < 0:
-		k.bucketHead[b], k.bucketTail[b] = s, s
+		sq.bucketHead[b], sq.bucketTail[b] = s, s
 		n.next = -1
-		k.occ[b>>6] |= 1 << (b & 63)
-	case k.lessNode(k.bucketTail[b], s):
-		k.nodes[k.bucketTail[b]].next = s
+		sq.occ[b>>6] |= 1 << (b & 63)
+	case sq.lessNode(sq.bucketTail[b], s):
+		sq.nodes[sq.bucketTail[b]].next = s
 		n.next = -1
-		k.bucketTail[b] = s
-	case k.lessNode(s, h):
+		sq.bucketTail[b] = s
+	case sq.lessNode(s, h):
 		n.next = h
-		k.bucketHead[b] = s
+		sq.bucketHead[b] = s
 	default:
 		p := h
 		for {
-			nx := k.nodes[p].next
-			if nx < 0 || k.lessNode(s, nx) {
+			nx := sq.nodes[p].next
+			if nx < 0 || sq.lessNode(s, nx) {
 				break
 			}
 			p = nx
 		}
-		n.next = k.nodes[p].next
-		k.nodes[p].next = s
+		n.next = sq.nodes[p].next
+		sq.nodes[p].next = s
 	}
 }
 
 // calInsert is calInsertRaw plus census and skew handling: when live
 // calendar events outnumber buckets 2:1 the calendar doubles, widening
 // the window (which may strand fewer events in the overflow heap).
-func (k *Kernel) calInsert(s int32) {
-	k.calInsertRaw(s)
-	k.calCount++
-	if k.calCount > 2*len(k.bucketHead) {
-		k.growCalendar()
+func (sq *shardQueue) calInsert(s int32) {
+	sq.calInsertRaw(s)
+	sq.calCount++
+	if sq.calCount > 2*len(sq.bucketHead) {
+		sq.growCalendar()
 	}
 }
 
@@ -317,49 +417,49 @@ func (k *Kernel) calInsert(s int32) {
 // Relative order is untouched: chains are rebuilt from the same (at, seq)
 // keys. Deferred migration of newly in-window heap events happens on the
 // next cursor advance.
-func (k *Kernel) growCalendar() {
-	moved := make([]int32, 0, k.calCount)
-	for b := range k.bucketHead {
-		for s := k.bucketHead[b]; s >= 0; {
-			nx := k.nodes[s].next
+func (sq *shardQueue) growCalendar() {
+	moved := make([]int32, 0, sq.calCount)
+	for b := range sq.bucketHead {
+		for s := sq.bucketHead[b]; s >= 0; {
+			nx := sq.nodes[s].next
 			moved = append(moved, s)
 			s = nx
 		}
 	}
-	k.initBuckets(2 * len(k.bucketHead))
+	sq.initBuckets(2 * len(sq.bucketHead))
 	for _, s := range moved {
-		k.calInsertRaw(s)
+		sq.calInsertRaw(s)
 	}
 }
 
 // calUnlink removes slot s from its bucket chain (eager cancellation —
 // the calendar never carries tombstones).
-func (k *Kernel) calUnlink(s int32) {
-	n := &k.nodes[s]
-	b := k.bucketOf(n.at)
-	if k.bucketHead[b] == s {
-		k.bucketHead[b] = n.next
+func (sq *shardQueue) calUnlink(s int32) {
+	n := &sq.nodes[s]
+	b := sq.bucketOf(n.at)
+	if sq.bucketHead[b] == s {
+		sq.bucketHead[b] = n.next
 		if n.next < 0 {
-			k.bucketTail[b] = -1
-			k.occ[b>>6] &^= 1 << (b & 63)
+			sq.bucketTail[b] = -1
+			sq.occ[b>>6] &^= 1 << (b & 63)
 		}
 	} else {
-		p := k.bucketHead[b]
-		for k.nodes[p].next != s {
-			p = k.nodes[p].next
+		p := sq.bucketHead[b]
+		for sq.nodes[p].next != s {
+			p = sq.nodes[p].next
 		}
-		k.nodes[p].next = n.next
-		if k.bucketTail[b] == s {
-			k.bucketTail[b] = p
+		sq.nodes[p].next = n.next
+		if sq.bucketTail[b] == s {
+			sq.bucketTail[b] = p
 		}
 	}
-	k.calCount--
+	sq.calCount--
 }
 
 // occScan returns the first non-empty bucket index in [from, to), if any.
-func (k *Kernel) occScan(from, to uint64) (uint64, bool) {
+func (sq *shardQueue) occScan(from, to uint64) (uint64, bool) {
 	for wi := from >> 6; wi < (to+63)>>6; wi++ {
-		w := k.occ[wi]
+		w := sq.occ[wi]
 		if wi == from>>6 {
 			w &= ^uint64(0) << (from & 63)
 		}
@@ -378,29 +478,29 @@ func (k *Kernel) occScan(from, to uint64) (uint64, bool) {
 // The scan starts at the cursor's bucket and wraps: within the window
 // [curSlot, curSlot+nb), circular bucket order equals slot order, and
 // each sorted chain keeps its minimum at the head.
-func (k *Kernel) calMin() int32 {
-	if k.calCount == 0 {
+func (sq *shardQueue) calMin() int32 {
+	if sq.calCount == 0 {
 		return -1
 	}
-	start := k.curSlot & k.bmask
-	if b, ok := k.occScan(start, uint64(len(k.bucketHead))); ok {
-		return k.bucketHead[b]
+	start := sq.curSlot & sq.bmask
+	if b, ok := sq.occScan(start, uint64(len(sq.bucketHead))); ok {
+		return sq.bucketHead[b]
 	}
-	if b, ok := k.occScan(0, start); ok {
-		return k.bucketHead[b]
+	if b, ok := sq.occScan(0, start); ok {
+		return sq.bucketHead[b]
 	}
 	return -1
 }
 
 // --- overflow heap ---
 
-func (k *Kernel) heapPush(slot int32) {
-	k.heap = append(k.heap, slot)
-	q := k.heap
+func (sq *shardQueue) heapPush(slot int32) {
+	sq.heap = append(sq.heap, slot)
+	q := sq.heap
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !k.lessNode(q[i], q[parent]) {
+		if !sq.lessNode(q[i], q[parent]) {
 			break
 		}
 		q[i], q[parent] = q[parent], q[i]
@@ -408,8 +508,8 @@ func (k *Kernel) heapPush(slot int32) {
 	}
 }
 
-func (k *Kernel) siftDown(i int) {
-	q := k.heap
+func (sq *shardQueue) siftDown(i int) {
+	q := sq.heap
 	n := len(q)
 	for {
 		left := 2*i + 1
@@ -417,10 +517,10 @@ func (k *Kernel) siftDown(i int) {
 			return
 		}
 		smallest := left
-		if right := left + 1; right < n && k.lessNode(q[right], q[left]) {
+		if right := left + 1; right < n && sq.lessNode(q[right], q[left]) {
 			smallest = right
 		}
-		if !k.lessNode(q[smallest], q[i]) {
+		if !sq.lessNode(q[smallest], q[i]) {
 			return
 		}
 		q[i], q[smallest] = q[smallest], q[i]
@@ -430,14 +530,14 @@ func (k *Kernel) siftDown(i int) {
 
 // heapPop removes and returns the head of the heap (which must not be
 // empty).
-func (k *Kernel) heapPop() int32 {
-	q := k.heap
+func (sq *shardQueue) heapPop() int32 {
+	q := sq.heap
 	head := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
-	k.heap = q[:last]
+	sq.heap = q[:last]
 	if last > 0 {
-		k.siftDown(0)
+		sq.siftDown(0)
 	}
 	return head
 }
@@ -445,15 +545,15 @@ func (k *Kernel) heapPop() int32 {
 // heapPeekLive drops (and recycles) cancelled entries at the head of the
 // heap and returns the pool slot of its next live event without removing
 // it (-1 when empty).
-func (k *Kernel) heapPeekLive() int32 {
-	for len(k.heap) > 0 {
-		head := k.heap[0]
-		if k.nodes[head].state == evPending {
+func (sq *shardQueue) heapPeekLive() int32 {
+	for len(sq.heap) > 0 {
+		head := sq.heap[0]
+		if sq.nodes[head].state == evPending {
 			return head
 		}
-		k.heapPop()
-		k.heapCancelled--
-		k.release(head)
+		sq.heapPop()
+		sq.heapCancelled--
+		sq.release(head)
 	}
 	return -1
 }
@@ -465,20 +565,20 @@ const minCompactLen = 64
 // compact rebuilds the overflow heap without the cancelled entries.
 // Ordering is untouched: the heap invariant is re-established over the
 // same (at, seq) keys, so compaction can never change the event schedule.
-func (k *Kernel) compact() {
-	liveQ := k.heap[:0]
-	for _, slot := range k.heap {
-		if k.nodes[slot].state == evPending {
+func (sq *shardQueue) compact() {
+	liveQ := sq.heap[:0]
+	for _, slot := range sq.heap {
+		if sq.nodes[slot].state == evPending {
 			liveQ = append(liveQ, slot)
 		} else {
-			k.release(slot)
+			sq.release(slot)
 		}
 	}
-	k.heap = liveQ
-	for i := len(k.heap)/2 - 1; i >= 0; i-- {
-		k.siftDown(i)
+	sq.heap = liveQ
+	for i := len(sq.heap)/2 - 1; i >= 0; i-- {
+		sq.siftDown(i)
 	}
-	k.heapCancelled = 0
+	sq.heapCancelled = 0
 }
 
 // --- scheduling core ---
@@ -492,105 +592,125 @@ func (k *Kernel) compact() {
 // the heap is compacted so cancel-heavy workloads (supervision timeouts
 // re-armed on every packet) keep it proportional to the live count.
 func (k *Kernel) Cancel(id EventID) bool {
-	slot, gen := decodeID(id)
-	if slot < 0 || int(slot) >= len(k.nodes) {
+	shard, slot, gen := decodeID(id)
+	if shard >= len(k.shards) {
 		return false
 	}
-	n := &k.nodes[slot]
+	sq := k.shards[shard]
+	if slot < 0 || int(slot) >= len(sq.nodes) {
+		return false
+	}
+	n := &sq.nodes[slot]
 	if n.state != evPending || n.gen != gen {
 		return false
 	}
-	k.live--
+	sq.live--
+	if sq.head == slot {
+		sq.head = headUnknown
+	}
 	if n.loc == locCal {
-		k.calUnlink(slot)
-		k.release(slot)
+		sq.calUnlink(slot)
+		sq.release(slot)
 	} else {
 		n.state = evCancelled
 		n.fn = nil
-		k.heapCancelled++
-		if k.heapCancelled > len(k.heap)/2 && len(k.heap) >= minCompactLen {
-			k.compact()
+		sq.heapCancelled++
+		if sq.heapCancelled > len(sq.heap)/2 && len(sq.heap) >= minCompactLen {
+			sq.compact()
 		}
 	}
 	return true
 }
 
-// nextLive returns the pool slot of the earliest pending event without
-// removing it (-1 when none). Correctness does not depend on the window
-// invariant: the calendar minimum and the heap minimum are compared under
-// the global (at, seq) order, so even a degraded split (calLim = 0) keeps
-// the schedule exact.
-func (k *Kernel) nextLive() int32 {
-	c := k.calMin()
-	h := k.heapPeekLive()
+// nextLive returns the pool slot of the shard's earliest pending event
+// without removing it (-1 when none). Correctness does not depend on the
+// window invariant: the calendar minimum and the heap minimum are
+// compared under the global (at, seq) order, so even a degraded split
+// (calLim = 0) keeps the schedule exact.
+func (sq *shardQueue) nextLive() int32 {
+	c := sq.calMin()
+	h := sq.heapPeekLive()
 	if c < 0 {
 		return h
 	}
-	if h >= 0 && k.lessNode(h, c) {
+	if h >= 0 && sq.lessNode(h, c) {
 		return h
 	}
 	return c
 }
 
-// take removes slot s — which must be the value nextLive just returned —
+// peek returns the shard's earliest pending pool slot through the head
+// cache (headNone when the shard is empty). The cache is invalidated
+// when its minimum is consumed or cancelled, and updated in place when a
+// newly scheduled event undercuts it, so steady-state firing pays one
+// scan per pop exactly as the unsharded kernel did.
+func (sq *shardQueue) peek() int32 {
+	if sq.head == headUnknown {
+		sq.head = sq.nextLive()
+	}
+	return sq.head
+}
+
+// take removes slot s — which must be the value peek just returned —
 // from its structure and advances the calendar cursor to its slot,
 // migrating newly in-window heap events into the calendar.
-func (k *Kernel) take(s int32) {
-	n := &k.nodes[s]
+func (sq *shardQueue) take(s int32) {
+	n := &sq.nodes[s]
 	if n.loc == locCal {
-		b := k.bucketOf(n.at)
-		k.bucketHead[b] = n.next
+		b := sq.bucketOf(n.at)
+		sq.bucketHead[b] = n.next
 		if n.next < 0 {
-			k.bucketTail[b] = -1
-			k.occ[b>>6] &^= 1 << (b & 63)
+			sq.bucketTail[b] = -1
+			sq.occ[b>>6] &^= 1 << (b & 63)
 		}
-		k.calCount--
+		sq.calCount--
 	} else {
-		k.heapPop()
+		sq.heapPop()
 	}
-	if ns := uint64(n.at) / SlotTicks; ns > k.curSlot {
-		k.curSlot = ns
-		k.recalcLim()
-		k.migrate()
+	sq.head = headUnknown
+	if ns := uint64(n.at) / SlotTicks; ns > sq.curSlot {
+		sq.curSlot = ns
+		sq.recalcLim()
+		sq.migrate()
 	}
 }
 
 // migrate moves heap events that now fall inside the calendar window into
 // their buckets. Every migrated event's slot is at or beyond the cursor,
 // so the move can never reorder anything already due.
-func (k *Kernel) migrate() {
+func (sq *shardQueue) migrate() {
 	for {
-		h := k.heapPeekLive()
-		if h < 0 || k.calLim == 0 || k.nodes[h].at >= k.calLim {
+		h := sq.heapPeekLive()
+		if h < 0 || sq.calLim == 0 || sq.nodes[h].at >= sq.calLim {
 			return
 		}
-		k.heapPop()
-		k.calInsert(h)
+		sq.heapPop()
+		sq.calInsert(h)
 	}
 }
 
-// fire advances the clock to the event in slot and runs its callback. The
-// slot is released before the callback runs, so cancelling the firing
-// event's own ID from within it is a no-op.
-func (k *Kernel) fire(slot int32) {
-	n := &k.nodes[slot]
+// fire advances the clock to the event in the shard's slot and runs its
+// callback. The slot is released before the callback runs, so cancelling
+// the firing event's own ID from within it is a no-op.
+func (k *Kernel) fire(sq *shardQueue, slot int32) {
+	n := &sq.nodes[slot]
 	k.now = n.at
 	fn := n.fn
-	k.live--
-	k.release(slot)
+	sq.live--
+	sq.release(slot)
 	fn()
 }
 
-// NextDue reports the timestamp of the earliest pending event, if any —
-// the kernel's quiescence probe. A caller holding a guarantee that no new
-// work arrives before that time (see channel.QuietUntil) may elide
-// intermediate bookkeeping events entirely.
+// NextDue reports the timestamp of the earliest pending event across all
+// shards, if any — the kernel's quiescence probe. A caller holding a
+// guarantee that no new work arrives before that time (see
+// channel.QuietUntil) may elide intermediate bookkeeping events entirely.
 func (k *Kernel) NextDue() (Time, bool) {
-	s := k.nextLive()
+	sq, s := k.earliest()
 	if s < 0 {
 		return 0, false
 	}
-	return k.nodes[s].at, true
+	return sq.nodes[s].at, true
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
@@ -610,13 +730,19 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	k.running = true
 	k.stopped = false
 	defer func() { k.running = false }()
-	for !k.stopped {
-		s := k.nextLive()
-		if s < 0 || k.nodes[s].at > limit {
-			break
+	if len(k.shards) == 1 {
+		// Serial fast path: no merge, no windows — the unsharded kernel.
+		sq := k.shards[0]
+		for !k.stopped {
+			s := sq.peek()
+			if s < 0 || sq.nodes[s].at > limit {
+				break
+			}
+			sq.take(s)
+			k.fire(sq, s)
 		}
-		k.take(s)
-		k.fire(s)
+	} else {
+		k.runSharded(limit)
 	}
 	if k.now < limit && limit != TimeMax {
 		k.now = limit
@@ -628,15 +754,16 @@ func (k *Kernel) RunUntil(limit Time) Time {
 // whether an event ran. Running() is true for the duration of the
 // callback, exactly as under RunUntil.
 func (k *Kernel) Step() bool {
-	slot := k.nextLive()
+	sq, slot := k.earliest()
 	if slot < 0 {
 		return false
 	}
 	prev := k.running
 	k.running = true
 	defer func() { k.running = prev }()
-	k.take(slot)
-	k.fire(slot)
+	k.cur = sq.id
+	sq.take(slot)
+	k.fire(sq, slot)
 	return true
 }
 

@@ -209,11 +209,12 @@ func TestCancelCompactsQueue(t *testing.T) {
 	// the overflow heap; compaction must have dropped the cancelled
 	// entries instead of retaining them until their (distant) due times
 	// are popped.
-	if len(k.heap) > minCompactLen {
-		t.Fatalf("heap holds %d entries for 1 live event", len(k.heap))
+	q := k.shards[0]
+	if len(q.heap) > minCompactLen {
+		t.Fatalf("heap holds %d entries for 1 live event", len(q.heap))
 	}
-	if k.heapCancelled > len(k.heap) {
-		t.Fatalf("cancelled count %d exceeds heap length %d", k.heapCancelled, len(k.heap))
+	if q.heapCancelled > len(q.heap) {
+		t.Fatalf("cancelled count %d exceeds heap length %d", q.heapCancelled, len(q.heap))
 	}
 }
 
@@ -257,8 +258,8 @@ func TestCancelHeavyChurnStaysBounded(t *testing.T) {
 	for i := 0; i < 50000; i++ {
 		k.Cancel(id)
 		id = k.Schedule(Slots(100000+uint64(i)), nop)
-		if len(k.heap) > maxLen {
-			maxLen = len(k.heap)
+		if len(k.shards[0].heap) > maxLen {
+			maxLen = len(k.shards[0].heap)
 		}
 	}
 	if maxLen > 4*minCompactLen {
@@ -277,12 +278,12 @@ func TestCancelChurnInCalendarWindowUnlinksEagerly(t *testing.T) {
 	for i := 0; i < 50000; i++ {
 		k.Cancel(id)
 		id = k.Schedule(Slots(uint64(10+i%50)), nop)
-		if k.calCount != 1 {
-			t.Fatalf("calendar census = %d after re-arm %d, want 1", k.calCount, i)
+		if k.shards[0].calCount != 1 {
+			t.Fatalf("calendar census = %d after re-arm %d, want 1", k.shards[0].calCount, i)
 		}
 	}
-	if len(k.nodes) > 4 {
-		t.Fatalf("re-arm churn grew the pool to %d nodes", len(k.nodes))
+	if len(k.shards[0].nodes) > 4 {
+		t.Fatalf("re-arm churn grew the pool to %d nodes", len(k.shards[0].nodes))
 	}
 }
 
@@ -336,8 +337,8 @@ func TestCalendarWindowMigration(t *testing.T) {
 			t.Fatalf("migration broke order: %v", fired)
 		}
 	}
-	if len(k.heap) != 0 || k.calCount != 0 {
-		t.Fatalf("leftover entries: heap=%d cal=%d", len(k.heap), k.calCount)
+	if len(k.shards[0].heap) != 0 || k.shards[0].calCount != 0 {
+		t.Fatalf("leftover entries: heap=%d cal=%d", len(k.shards[0].heap), k.shards[0].calCount)
 	}
 }
 
@@ -353,8 +354,8 @@ func TestCalendarGrowsOnSkew(t *testing.T) {
 		// Many same-tick ties on a handful of nearby slots.
 		k.At(Time(Slots(uint64(i%7))), func() { fired = append(fired, i) })
 	}
-	if len(k.bucketHead) <= defaultBuckets {
-		t.Fatalf("calendar did not grow: %d buckets for %d events", len(k.bucketHead), n)
+	if len(k.shards[0].bucketHead) <= defaultBuckets {
+		t.Fatalf("calendar did not grow: %d buckets for %d events", len(k.shards[0].bucketHead), n)
 	}
 	k.Run()
 	if len(fired) != n {

@@ -40,7 +40,7 @@ func TestCancelOfFiredIDWithRecycledSlot(t *testing.T) {
 	k.Run()
 	// id1's slot is free; this Schedule recycles it.
 	id2 := k.Schedule(1, func() { fired++ })
-	if slot1, _ := decodeID(id1); func() bool { s2, _ := decodeID(id2); return s2 != slot1 }() {
+	if _, slot1, _ := decodeID(id1); func() bool { _, s2, _ := decodeID(id2); return s2 != slot1 }() {
 		t.Fatalf("test premise broken: slot not recycled (id1=%x id2=%x)", id1, id2)
 	}
 	if k.Cancel(id1) {
@@ -193,9 +193,10 @@ func TestStepAndRunUntilShareCancelledBookkeeping(t *testing.T) {
 	if fired != len(ids)/2 {
 		t.Fatalf("fired = %d, want %d", fired, len(ids)/2)
 	}
-	if k.heapCancelled != 0 || len(k.heap) != 0 || k.calCount != 0 {
+	q := k.shards[0]
+	if q.heapCancelled != 0 || len(q.heap) != 0 || q.calCount != 0 {
 		t.Fatalf("bookkeeping drifted: cancelled=%d heap=%d cal=%d",
-			k.heapCancelled, len(k.heap), k.calCount)
+			q.heapCancelled, len(q.heap), q.calCount)
 	}
 }
 
@@ -217,7 +218,7 @@ func TestSteadyStateSchedulingDoesNotGrowPool(t *testing.T) {
 	if n != 10000 {
 		t.Fatalf("ticks = %d", n)
 	}
-	if len(k.nodes) > 4 {
-		t.Fatalf("steady-state loop grew the pool to %d nodes", len(k.nodes))
+	if len(k.shards[0].nodes) > 4 {
+		t.Fatalf("steady-state loop grew the pool to %d nodes", len(k.shards[0].nodes))
 	}
 }

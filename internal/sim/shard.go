@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Conservative sharded execution.
+//
+// A sharded kernel (NewKernelShards) partitions the event queue into N
+// independent shardQueues — typically one per spatial cell or piconet,
+// assigned by the layer above — while preserving the exact global
+// (at, seq) firing order of the serial kernel. The conservative part is
+// *when queue maintenance happens*, not *what fires when*:
+//
+//	window open            barrier              window open
+//	     |  shard 0: advance cursor, migrate, peek  |
+//	     |  shard 1: advance cursor, migrate, peek  |   ...
+//	     |  shard 2: advance cursor, migrate, peek  |
+//	     +----- fire merged (at, seq) minimum ------+
+//
+// At each window edge every shard fast-forwards its own calendar cursor
+// to the window start and refreshes its cached head — strictly
+// shard-local work, forked across goroutines when more than one shard
+// has catching-up to do and GOMAXPROCS allows. Between edges the driver
+// fires the global minimum across the cached heads, which costs one
+// O(shards) comparison per event instead of a full queue scan.
+//
+// The window end is max(next slot edge, coupling horizon): the 625 µs
+// slot grid guarantees a shard cannot receive cross-shard work inside
+// its current slot except through the medium, and channel.QuietUntil()
+// bounds when the medium can next couple shards (it pins to `now` while
+// any transmission is in flight). Because callbacks always execute in
+// the single global order on the driver goroutine, a window that is too
+// long can never reorder events — a stale or revoked horizon degrades
+// refresh batching, never determinism. That is what makes shard count
+// and GOMAXPROCS unobservable in output, and what the shard-equivalence
+// suite pins byte-for-byte.
+
+// Shards reports the number of event-queue shards (1 for NewKernel).
+func (k *Kernel) Shards() int { return len(k.shards) }
+
+// SetAffinity directs subsequent Schedule/At calls at a shard until the
+// next event fires (firing an event sets the affinity to its shard).
+// Layers above use it while constructing a world so each device's
+// initial self-scheduling chain starts on the device's shard.
+func (k *Kernel) SetAffinity(shard int) {
+	if shard < 0 || shard >= len(k.shards) {
+		panic(fmt.Sprintf("sim: SetAffinity(%d) with %d shards", shard, len(k.shards)))
+	}
+	k.cur = shard
+}
+
+// Affinity reports the current scheduling shard: the shard of the most
+// recently fired event, or the last SetAffinity target.
+func (k *Kernel) Affinity() int { return k.cur }
+
+// SetCouplingHorizon installs the medium-coupling probe used to extend
+// shard windows past the next slot edge (core wires channel.QuietUntil
+// here). fn is called at window openings only; nil reverts to pure
+// slot-edge windows. The horizon is a batching hint: a horizon that is
+// too optimistic cannot reorder events, because callbacks always fire
+// in the merged global order.
+func (k *Kernel) SetCouplingHorizon(fn func() Time) { k.horizon = fn }
+
+// RetractWindow shrinks the current shard window in response to a
+// coupling-horizon revocation (a quiet promise withdrawn mid-window,
+// e.g. a reactive-only device deciding to transmit). The next event at
+// or past t then re-opens the window, re-reading the horizon. Ordering
+// is unaffected either way; retracting keeps window accounting honest
+// and refresh batches aligned with real coupling points.
+func (k *Kernel) RetractWindow(t Time) {
+	if t < k.now {
+		t = k.now
+	}
+	if t < k.windowEnd {
+		k.windowEnd = t
+	}
+}
+
+// ShardStats is a snapshot of sharded-execution counters, for benches
+// and scaling diagnostics.
+type ShardStats struct {
+	Shards     int    // number of event-queue shards
+	Windows    uint64 // window openings (barriers crossed)
+	ParRefresh uint64 // window openings whose shard refresh ran forked
+	Live       []int  // pending events per shard
+}
+
+// ShardStats returns current sharded-execution counters. On a
+// single-shard kernel Windows and ParRefresh stay zero.
+func (k *Kernel) ShardStats() ShardStats {
+	st := ShardStats{
+		Shards:     len(k.shards),
+		Windows:    k.windows,
+		ParRefresh: k.parRefresh,
+		Live:       make([]int, len(k.shards)),
+	}
+	for i, sq := range k.shards {
+		st.Live[i] = sq.live
+	}
+	return st
+}
+
+// earliest returns the shard and pool slot of the globally earliest
+// pending event under the (at, seq) order, or (nil, -1) when every
+// shard is drained. Heads are cached per shard, so the steady-state
+// cost is one comparison per shard.
+func (k *Kernel) earliest() (*shardQueue, int32) {
+	var best *shardQueue
+	bestSlot := int32(-1)
+	for _, sq := range k.shards {
+		s := sq.peek()
+		if s < 0 {
+			continue
+		}
+		if bestSlot < 0 || lessEvent(&sq.nodes[s], &best.nodes[bestSlot]) {
+			best, bestSlot = sq, s
+		}
+	}
+	return best, bestSlot
+}
+
+// runSharded is RunUntil's driver loop for kernels with 2+ shards. It
+// fires the merged (at, seq) minimum exactly as the serial loop does;
+// windows only decide when the per-shard cursor/head maintenance runs
+// (and whether it forks).
+func (k *Kernel) runSharded(limit Time) {
+	for !k.stopped {
+		if k.now >= k.windowEnd {
+			k.openWindow(k.now)
+		}
+		sq, s := k.earliest()
+		if s < 0 {
+			break
+		}
+		at := sq.nodes[s].at
+		if at > limit {
+			break
+		}
+		if at >= k.windowEnd {
+			// Barrier: every shard has drained up to the window edge.
+			// Re-open at the event time (which may sit many windows
+			// ahead after an idle stretch) and re-merge — the horizon
+			// may have moved while this window was current.
+			k.openWindow(at)
+			continue
+		}
+		k.cur = sq.id
+		sq.take(s)
+		k.fire(sq, s)
+	}
+}
+
+// openWindow starts a window at start: computes the exclusive end
+// (next slot edge, extended to the coupling horizon when one is
+// installed) and brings every shard's cursor and cached head up to
+// date, forking the refresh across goroutines when more than one shard
+// needs it and the machine has cores to use.
+func (k *Kernel) openWindow(start Time) {
+	s := uint64(start)/SlotTicks + 1
+	end := TimeMax
+	if s <= ^uint64(0)/SlotTicks {
+		end = Time(s * SlotTicks)
+	}
+	if k.horizon != nil {
+		if h := k.horizon(); h > end {
+			end = h
+		}
+	}
+	k.windowEnd = end
+	k.windows++
+	k.refreshShards(start)
+}
+
+// refreshShards fast-forwards each shard's calendar cursor to start's
+// slot (migrating newly in-window heap events) and recomputes stale
+// cached heads. Everything touched is shard-local — nodes, buckets,
+// heap, free list, head — so the forked branch is race-free by
+// construction; the race-detector CI runs pin that.
+func (k *Kernel) refreshShards(start Time) {
+	slot := uint64(start) / SlotTicks
+	need := k.scratch[:0]
+	for _, sq := range k.shards {
+		if sq.curSlot < slot || sq.head == headUnknown {
+			need = append(need, sq)
+		}
+	}
+	k.scratch = need[:0]
+	if len(need) >= 2 && runtime.GOMAXPROCS(0) > 1 {
+		k.parRefresh++
+		var wg sync.WaitGroup
+		wg.Add(len(need))
+		for _, sq := range need {
+			go func(sq *shardQueue) {
+				defer wg.Done()
+				sq.advanceTo(slot)
+				sq.peek()
+			}(sq)
+		}
+		wg.Wait()
+		return
+	}
+	for _, sq := range need {
+		sq.advanceTo(slot)
+		sq.peek()
+	}
+}
+
+// advanceTo fast-forwards the calendar cursor to slot. Every pending
+// event's timestamp is >= now >= the window start, so its slot index is
+// >= slot and the advance can never strand a chained event behind the
+// cursor; migrate then pulls newly in-window heap events into their
+// buckets (ordering-neutral, as always).
+func (sq *shardQueue) advanceTo(slot uint64) {
+	if slot > sq.curSlot {
+		sq.curSlot = slot
+		sq.recalcLim()
+		sq.migrate()
+	}
+}

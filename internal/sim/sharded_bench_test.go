@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Shard-scaling benches for the conservative kernel. On the 1-core dev
+// container every shard count runs the same serial merge, so these
+// numbers measure windowing/merge overhead, not speedup; multicore CI
+// reads the scaling (see bench/README.md).
+
+// benchShardedSlotGrid drives the kernel's dominant workload shape:
+// per-shard self-rescheduling slot callbacks (a piconet's TX/RX loops)
+// with a periodic cross-shard hand-off (a medium delivery).
+func benchShardedSlotGrid(b *testing.B, shards int) {
+	k := NewKernelShards(shards)
+	k.SetCouplingHorizon(func() Time { return k.Now() + Time(Slots(4)) })
+	fired := 0
+	var pump func(sh int) Event
+	pump = func(sh int) Event {
+		var fn Event
+		fn = func() {
+			fired++
+			if fired%64 == 0 {
+				k.ScheduleOn((sh+1)%shards, Slots(1), fn)
+			} else {
+				k.Schedule(Slots(1), fn)
+			}
+		}
+		return fn
+	}
+	for s := 0; s < shards; s++ {
+		for j := 0; j < 4; j++ {
+			k.ScheduleOn(s, Duration(j), pump(s))
+		}
+	}
+	b.ResetTimer()
+	k.RunUntil(Time(Slots(uint64(b.N))))
+	b.StopTimer()
+	if fired == 0 {
+		b.Fatal("bench fired nothing")
+	}
+	b.ReportMetric(float64(fired)/float64(b.N), "events/slot")
+}
+
+// BenchmarkShardedKernelSlotGrid: slot-grid events through 1, 2 and 4
+// shards. shards=1 takes the serial fast path — its delta against the
+// committed baseline is the zero-regression gate; shards>1 adds the
+// window merge.
+func BenchmarkShardedKernelSlotGrid(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedSlotGrid(b, shards)
+		})
+	}
+}
+
+// BenchmarkShardedKernelWindowOverhead isolates the barrier cost: idle
+// shards whose only event stream lives on shard 0, so every window
+// opening pays the full refresh scan with nothing to merge.
+func BenchmarkShardedKernelWindowOverhead(b *testing.B) {
+	for _, shards := range []int{2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			k := NewKernelShards(shards)
+			n := 0
+			var fn Event
+			fn = func() {
+				n++
+				k.Schedule(Slots(1), fn)
+			}
+			k.ScheduleOn(0, 0, fn)
+			b.ResetTimer()
+			k.RunUntil(Time(Slots(uint64(b.N))))
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzShardedKernel throws arbitrary byte-driven scripts of schedule /
+// cancel / cross-shard hand-off / run / step / retract operations at a
+// sharded kernel and checks the two invariants the conservative
+// windowing must never bend:
+//
+//   - monotone delivery: events fire in exactly the (at, seq) order of
+//     the naive sorted-list reference — never early, never reordered;
+//   - exact census: no event is lost or duplicated, Pending always
+//     equals the reference list's length, and the clocks agree.
+//
+// The script bytes choose shard counts, delays (same-tick, off-grid,
+// window-edge, far-future heap), cancel targets and window retractions,
+// so the corpus explores the calendar/heap boundary and barrier edges.
+// CI runs this as a fuzz smoke alongside FuzzPlacementValidation.
+func FuzzShardedKernel(f *testing.F) {
+	f.Add([]byte{3, 0, 10, 1, 40, 2, 200, 6, 7, 4})
+	f.Add([]byte{1, 5, 5, 5, 5, 5})
+	f.Add([]byte{8, 2, 0, 2, 64, 3, 128, 6, 3, 255, 7, 7, 7})
+	f.Add([]byte{2, 9, 1, 9, 2, 8, 9, 3, 6, 6})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 {
+			return
+		}
+		shards := 1 + int(script[0])%8
+		k := NewKernelShards(shards)
+		k.SetCouplingHorizon(func() Time { return k.Now() + Time(Slots(2)) })
+		model := &refModel{}
+		var fired, expect []int
+		var live []EventID
+		liveSid := make(map[EventID]int)
+		seq := uint64(0)
+		sid := 0
+
+		next := func(i *int) byte {
+			if *i >= len(script) {
+				return 0
+			}
+			b := script[*i]
+			*i++
+			return b
+		}
+		delayFor := func(b byte) Duration {
+			switch b % 4 {
+			case 0:
+				return Duration(b % 3) // same tick
+			case 1:
+				return Duration(uint64(b) * 97) // off-grid
+			case 2:
+				return Slots(uint64(b) * uint64(defaultBuckets) / 32) // window edge
+			default:
+				return Slots(uint64(1000)*uint64(b) + 1) // overflow heap
+			}
+		}
+		check := func(ctx string) {
+			t.Helper()
+			if len(fired) != len(expect) {
+				t.Fatalf("%s: fired %d events, reference %d", ctx, len(fired), len(expect))
+			}
+			for i := range expect {
+				if fired[i] != expect[i] {
+					t.Fatalf("%s: order diverged at %d: got sid %d, want %d", ctx, i, fired[i], expect[i])
+				}
+			}
+			if k.Pending() != len(model.list) {
+				t.Fatalf("%s: census diverged: kernel %d, reference %d", ctx, k.Pending(), len(model.list))
+			}
+			if k.Now() != model.now {
+				t.Fatalf("%s: clocks diverged: kernel %v, reference %v", ctx, k.Now(), model.now)
+			}
+		}
+
+		for i := 1; i < len(script); {
+			op := next(&i)
+			switch op % 7 {
+			case 0, 1: // schedule on the affinity shard
+				d := delayFor(next(&i))
+				my := sid
+				sid++
+				seq++
+				id := k.Schedule(d, func() { fired = append(fired, my) })
+				model.insert(refEntry{at: k.Now() + Time(d), seq: seq, sid: my})
+				live = append(live, id)
+				liveSid[id] = my
+			case 2: // cross-shard hand-off
+				target := int(next(&i)) % shards
+				d := delayFor(next(&i))
+				my := sid
+				sid++
+				seq++
+				id := k.ScheduleOn(target, d, func() { fired = append(fired, my) })
+				if sh, _, _ := decodeID(id); sh != target {
+					t.Fatalf("ScheduleOn(%d) issued shard-%d ID", target, sh)
+				}
+				model.insert(refEntry{at: k.Now() + Time(d), seq: seq, sid: my})
+				live = append(live, id)
+				liveSid[id] = my
+			case 3: // cancel a script-chosen live event
+				if len(live) == 0 {
+					continue
+				}
+				j := int(next(&i)) % len(live)
+				id := live[j]
+				live = append(live[:j], live[j+1:]...)
+				my := liveSid[id]
+				delete(liveSid, id)
+				if k.Cancel(id) {
+					model.remove(my)
+				}
+				// Cancel returning false means the event already fired
+				// through an earlier run/step; the reference popped it too.
+				check("after cancel")
+			case 4: // bounded run
+				limit := k.Now() + Time(Slots(uint64(next(&i))))
+				k.RunUntil(limit)
+				expect = model.runUntil(limit, expect)
+				check("after RunUntil")
+			case 5: // single step
+				var want bool
+				expect, want = model.step(expect)
+				if got := k.Step(); got != want {
+					t.Fatalf("Step = %v, reference %v", got, want)
+				}
+				check("after Step")
+			case 6: // horizon revocation at the window edge
+				k.RetractWindow(k.Now() + Time(uint64(next(&i))))
+			}
+		}
+		k.Run()
+		for len(model.list) > 0 {
+			expect, _ = model.step(expect)
+		}
+		check("after drain")
+	})
+}

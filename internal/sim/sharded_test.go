@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// This file pins the sharded conservative kernel. The contract under
+// test is a strong one: shard count, shard assignment, the coupling
+// horizon, GOMAXPROCS, and window retraction are all unobservable —
+// every configuration fires the exact event sequence of the serial
+// kernel, because sharding only changes where events are stored and
+// when per-shard queue maintenance runs, never the merged (at, seq)
+// order.
+
+// runShardedReferenceScript drives a sharded kernel through the same
+// randomized script family as TestKernelMatchesReferenceModel — plus
+// cross-shard ScheduleOn hand-offs, affinity moves, nested schedules
+// from inside callbacks, and mid-run window retractions — and checks
+// fire order, census and clock against the sorted-list reference.
+func runShardedReferenceScript(t *testing.T, seed uint64, shards int) {
+	t.Helper()
+	k := NewKernelShards(shards)
+	// A horizon that stretches windows a few slots past their edge:
+	// deterministic in `now` so it cannot perturb anything, wide enough
+	// that barriers and mid-window firing both happen.
+	k.SetCouplingHorizon(func() Time { return k.Now() + Time(Slots(3)) })
+	r := NewRand(seed)
+	model := &refModel{}
+	var fired, expect []int
+	firedSet := make(map[int]bool)
+	live := make([]int, 0)
+	ids := make(map[int]EventID)
+	var dead []EventID
+	seq := uint64(0)
+	sid := 0
+
+	check := func(ctx string) {
+		t.Helper()
+		if len(fired) != len(expect) {
+			t.Fatalf("seed %d shards %d %s: kernel fired %d events, reference %d",
+				seed, shards, ctx, len(fired), len(expect))
+		}
+		for i := range expect {
+			if fired[i] != expect[i] {
+				t.Fatalf("seed %d shards %d %s: fire order diverged at %d: kernel sid %d, reference sid %d",
+					seed, shards, ctx, i, fired[i], expect[i])
+			}
+		}
+		if k.Pending() != len(model.list) {
+			t.Fatalf("seed %d shards %d %s: census diverged: kernel %d pending, reference %d",
+				seed, shards, ctx, k.Pending(), len(model.list))
+		}
+		if k.Now() != model.now {
+			t.Fatalf("seed %d shards %d %s: clocks diverged: kernel %v, reference %v",
+				seed, shards, ctx, k.Now(), model.now)
+		}
+	}
+
+	randDelay := func() Duration {
+		switch r.Intn(4) {
+		case 0:
+			return Duration(r.Intn(3))
+		case 1:
+			return Duration(r.Intn(5 * SlotTicks))
+		case 2:
+			return Slots(uint64(r.Intn(2 * defaultBuckets)))
+		default:
+			return Slots(uint64(1000+r.Intn(100000))) + Duration(r.Intn(7))
+		}
+	}
+
+	for op := 0; op < 3000; op++ {
+		switch r.Intn(12) {
+		case 0, 1, 2, 3: // schedule a burst on the current affinity shard
+			d := randDelay()
+			for burst := 1 + r.Intn(3); burst > 0; burst-- {
+				my := sid
+				sid++
+				seq++
+				id := k.Schedule(d, func() { fired = append(fired, my); firedSet[my] = true })
+				model.insert(refEntry{at: k.Now() + Time(d), seq: seq, sid: my})
+				live = append(live, my)
+				ids[my] = id
+			}
+		case 4, 5: // cross-shard hand-off: explicit target shard
+			d := randDelay()
+			target := r.Intn(shards)
+			my := sid
+			sid++
+			seq++
+			// The callback itself schedules a child with no explicit
+			// shard — it must inherit `target` (checked below) and fire
+			// in plain (at, seq) order like everything else.
+			childDelay := Duration(r.Intn(2 * SlotTicks))
+			id := k.ScheduleOn(target, d, func() {
+				fired = append(fired, my)
+				firedSet[my] = true
+				child := sid
+				sid++
+				seq++
+				cid := k.Schedule(childDelay, func() { fired = append(fired, child); firedSet[child] = true })
+				if sh, _, _ := decodeID(cid); sh != target {
+					t.Errorf("seed %d: child of shard-%d event landed on shard %d", seed, target, sh)
+				}
+				model.insert(refEntry{at: k.Now() + Time(childDelay), seq: seq, sid: child})
+				live = append(live, child)
+				ids[child] = cid
+			})
+			if sh, _, _ := decodeID(id); sh != target {
+				t.Fatalf("seed %d: ScheduleOn(%d) issued an ID on shard %d", seed, target, sh)
+			}
+			model.insert(refEntry{at: k.Now() + Time(d), seq: seq, sid: my})
+			live = append(live, my)
+			ids[my] = id
+		case 6: // move the construction-time affinity
+			k.SetAffinity(r.Intn(shards))
+		case 7: // cancel through a held id
+			if len(live) == 0 {
+				continue
+			}
+			i := r.Intn(len(live))
+			my := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if firedSet[my] {
+				if k.Cancel(ids[my]) {
+					t.Fatalf("seed %d: cancel of fired sid %d reported true", seed, my)
+				}
+			} else {
+				if !k.Cancel(ids[my]) {
+					t.Fatalf("seed %d: cancel of live sid %d reported false", seed, my)
+				}
+				model.remove(my)
+			}
+			dead = append(dead, ids[my])
+			delete(ids, my)
+			check("after cancel")
+		case 8: // stale cancel
+			if len(dead) == 0 {
+				continue
+			}
+			if k.Cancel(dead[r.Intn(len(dead))]) {
+				t.Fatalf("seed %d: stale cancel reported true", seed)
+			}
+		case 9: // retract the open window: a horizon revocation mid-run
+			k.RetractWindow(k.Now() + Time(r.Intn(SlotTicks)))
+		case 10: // bounded run
+			limit := k.Now() + Time(r.Intn(100*SlotTicks))
+			k.RunUntil(limit)
+			expect = model.runUntil(limit, expect)
+			check("after RunUntil")
+		case 11: // single step
+			var want bool
+			expect, want = model.step(expect)
+			if got := k.Step(); got != want {
+				t.Fatalf("seed %d: Step = %v, reference %v", seed, got, want)
+			}
+			check("after Step")
+		}
+	}
+	k.Run()
+	for len(model.list) > 0 {
+		expect, _ = model.step(expect)
+	}
+	check("after drain")
+	if k.Pending() != 0 {
+		t.Fatalf("seed %d: %d events still pending after drain", seed, k.Pending())
+	}
+}
+
+// TestShardedKernelMatchesReferenceModel runs the randomized script
+// against the sorted-list reference over shard counts 2, 4 and 8.
+func TestShardedKernelMatchesReferenceModel(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		for seed := uint64(1); seed <= 6; seed++ {
+			runShardedReferenceScript(t, seed, shards)
+		}
+	}
+}
+
+// TestShardedKernelForkedRefresh re-runs the reference script with
+// GOMAXPROCS forced above 1, so refreshShards takes the forked branch
+// even on a single-core machine — the branch the -race CI step needs to
+// see executing.
+func TestShardedKernelForkedRefresh(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for seed := uint64(1); seed <= 4; seed++ {
+		runShardedReferenceScript(t, seed, 4)
+	}
+}
+
+// shardedScriptTrace replays one deterministic event script and returns
+// the fire order. Used to compare configurations that must be
+// indistinguishable.
+func shardedScriptTrace(shards, gomaxprocs int, horizon bool) []int {
+	prev := runtime.GOMAXPROCS(gomaxprocs)
+	defer runtime.GOMAXPROCS(prev)
+	k := NewKernelShards(shards)
+	if horizon {
+		k.SetCouplingHorizon(func() Time { return k.Now() + Time(Slots(8)) })
+	}
+	var fired []int
+	r := NewRand(99)
+	sid := 0
+	// Self-rescheduling chains on every shard, plus random cross-shard
+	// hand-offs: the pattern a sharded world produces.
+	var pump func(hops int) Event
+	pump = func(hops int) Event {
+		my := sid
+		sid++
+		return func() {
+			fired = append(fired, my)
+			if hops > 0 {
+				d := Duration(r.Intn(3 * SlotTicks))
+				if r.Intn(3) == 0 {
+					k.ScheduleOn(r.Intn(shards)%k.Shards(), d, pump(hops-1))
+				} else {
+					k.Schedule(d, pump(hops-1))
+				}
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		k.ScheduleOn(i%shards, Duration(i*17), pump(40))
+	}
+	k.Run()
+	return fired
+}
+
+// TestShardAndGOMAXPROCSUnobservable: the same script over shard counts
+// {1, 2, 4, 8}, GOMAXPROCS {1, 4}, horizon on/off must fire the exact
+// same sequence. (shards modulo k.Shards() keeps the script's hand-off
+// targets valid on the serial kernel; the RNG draw sequence is
+// identical in every configuration because firing order is.)
+func TestShardAndGOMAXPROCSUnobservable(t *testing.T) {
+	want := shardedScriptTrace(1, 1, false)
+	if len(want) == 0 {
+		t.Fatal("baseline script fired nothing")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, procs := range []int{1, 4} {
+			for _, horizon := range []bool{false, true} {
+				got := shardedScriptTrace(shards, procs, horizon)
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d procs=%d horizon=%v fired %d events, want %d",
+						shards, procs, horizon, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("shards=%d procs=%d horizon=%v diverged at %d: got sid %d, want %d",
+							shards, procs, horizon, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardWindowAccounting: windows open, the forked-refresh counter
+// only moves when GOMAXPROCS allows, and ShardStats' live census agrees
+// with Pending.
+func TestShardWindowAccounting(t *testing.T) {
+	k := NewKernelShards(4)
+	for i := 0; i < 4; i++ {
+		sh := i
+		k.ScheduleOn(sh, Slots(uint64(1+i)), func() {})
+	}
+	st := k.ShardStats()
+	if st.Shards != 4 || st.Windows != 0 {
+		t.Fatalf("pre-run stats: %+v", st)
+	}
+	total := 0
+	for _, l := range st.Live {
+		total += l
+	}
+	if total != k.Pending() {
+		t.Fatalf("live census %d != Pending %d", total, k.Pending())
+	}
+	k.Run()
+	st = k.ShardStats()
+	if st.Windows == 0 {
+		t.Fatal("sharded run crossed no window barriers")
+	}
+	if runtime.GOMAXPROCS(0) == 1 && st.ParRefresh != 0 {
+		t.Fatalf("forked refresh ran on GOMAXPROCS=1: %+v", st)
+	}
+}
+
+// TestShardedStopAndRunUntilClock: Stop and the RunUntil clock contract
+// behave identically on a sharded kernel.
+func TestShardedStopAndRunUntilClock(t *testing.T) {
+	k := NewKernelShards(3)
+	n := 0
+	for i := 0; i < 10; i++ {
+		k.ScheduleOn(i%3, Slots(uint64(i+1)), func() {
+			n++
+			if n == 5 {
+				k.Stop()
+			}
+		})
+	}
+	k.RunUntil(Time(Slots(100)))
+	if n != 5 {
+		t.Fatalf("Stop did not halt the sharded loop: %d events ran", n)
+	}
+	if got := k.RunUntil(Time(Slots(100))); got != Time(Slots(100)) {
+		t.Fatalf("RunUntil clock = %v, want %v", got, Time(Slots(100)))
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", k.Pending())
+	}
+}
+
+// TestShardValidation pins the argument guards: shard counts and
+// ScheduleOn/SetAffinity targets outside range must panic rather than
+// corrupt the EventID encoding.
+func TestShardValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewKernelShards(0)", func() { NewKernelShards(0) })
+	mustPanic("NewKernelShards(257)", func() { NewKernelShards(MaxShards + 1) })
+	k := NewKernelShards(2)
+	mustPanic("ScheduleOn(2)", func() { k.ScheduleOn(2, 1, func() {}) })
+	mustPanic("ScheduleOn(-1)", func() { k.ScheduleOn(-1, 1, func() {}) })
+	mustPanic("SetAffinity(5)", func() { k.SetAffinity(5) })
+	if NewKernelShards(MaxShards).Shards() != MaxShards {
+		t.Fatal("MaxShards kernel did not build")
+	}
+}

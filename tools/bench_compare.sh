@@ -15,6 +15,12 @@
 #     fully seed-determined, so ANY drift beyond float formatting
 #     means the simulation's behaviour changed and is flagged.
 #
+# Shard-scaling rows (BenchmarkShardedKernel*, .../shards=N) are
+# timing-class for every unit — their custom metrics scale with the
+# iteration count, so the result-metric gate would false-positive.
+# A benchmark absent from the baseline prints as "(new)" instead of
+# warning: first appearance is not a regression.
+#
 # If benchstat is available the raw benchstat comparison is appended
 # (the committed JSON preserves benchmark-format lines for exactly
 # this), but the awk delta table never requires it.
@@ -32,9 +38,25 @@ case $1 in
 esac
 cd "$(dirname "$0")/.."
 
-base=$(ls -1 bench/BENCH_*.json 2>/dev/null | grep -v -- '-dirty' | tail -1 || true)
-if [ -z "$base" ]; then
-    base=$(ls -1 bench/BENCH_*.json 2>/dev/null | tail -1 || true)
+# Newest snapshot by commit date, not filename: the snapshots are named
+# by short commit hash, so lexicographic order is meaningless. Fall back
+# to file mtime outside a git checkout.
+pick_newest() {
+    if git rev-parse --git-dir >/dev/null 2>&1; then
+        for f in "$@"; do
+            printf '%s %s\n' "$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)" "$f"
+        done | sort -n | tail -1 | cut -d' ' -f2-
+    else
+        ls -1t "$@" | head -1
+    fi
+}
+base=""
+clean=$(ls -1 bench/BENCH_*.json 2>/dev/null | grep -v -- '-dirty' || true)
+if [ -n "$clean" ]; then
+    # shellcheck disable=SC2086
+    base=$(pick_newest $clean)
+elif ls bench/BENCH_*.json >/dev/null 2>&1; then
+    base=$(pick_newest bench/BENCH_*.json)
 fi
 if [ -z "$base" ]; then
     echo "bench_compare: no committed bench/BENCH_*.json baseline; skipping"
@@ -85,14 +107,30 @@ END {
             if (u == "") continue
             o = old[name SUBSEP u]
             w = new[name SUBSEP u]
-            if (o == "" || w == "" || o + 0 == 0) continue
+            if (w == "") continue
+            if (o == "" || o + 0 == 0) {
+                # First appearance of a benchmark/metric: informational,
+                # never a warning. The next committed snapshot becomes
+                # its baseline.
+                label = name
+                if (shown) label = ""
+                shown = 1
+                printf "%-52s %14s %14.3f %8s %s (new benchmark; no baseline)\n", label, "-", w, "", u
+                continue
+            }
             d = (w - o) / o * 100
             flag = ""
-            if (u == "ns/op") {
+            timing = (u == "ns/op" || u == "replicas/s")
+            # Shard-scaling rows: timing-class thresholds for any unit.
+            if (name ~ /^BenchmarkShardedKernel/ || name ~ /\/shards=/) timing = 1
+            if (timing) {
                 # Smoke runs are single-iteration: only yell past 25%.
-                if (d > 25) { flag = "  <-- slower"; warned = 1 }
-            } else if (u == "replicas/s") {
-                if (d < -25) { flag = "  <-- fewer replicas/s"; warned = 1 }
+                if (u == "replicas/s") {
+                    if (d < -25) { flag = "  <-- fewer replicas/s"; warned = 1 }
+                } else if (d > 25 || d < -25) {
+                    if (u == "ns/op") { if (d > 25) { flag = "  <-- slower"; warned = 1 } }
+                    else { flag = "  <-- shard timing moved"; warned = 1 }
+                }
             } else {
                 # Custom figure metrics are seed-determined results, not
                 # timings: any drift beyond float-print noise means the
