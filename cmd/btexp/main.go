@@ -59,10 +59,15 @@ func main() {
 			explicitProgress = true
 		}
 	})
+	// The hook rides in a per-run Config rather than runner.SetProgress:
+	// the global hook remains as a fallback for code that has no Config
+	// plumbing, but a process that knows its runs (like this one, or the
+	// service layer with many overlapping jobs) passes it explicitly.
+	var runCfg runner.Config
 	if *progress && (explicitProgress || stderrIsTerminal()) {
 		var mu sync.Mutex
 		last := make(map[string]int)
-		runner.SetProgress(func(name string, done, total int) {
+		runCfg.Progress = func(name string, done, total int) {
 			mu.Lock()
 			defer mu.Unlock()
 			if done <= last[name] {
@@ -73,7 +78,7 @@ func main() {
 			if done == total {
 				fmt.Fprint(os.Stderr, "\r\033[K")
 			}
-		})
+		}
 	}
 
 	emit := func(t *stats.Table) {
@@ -87,13 +92,13 @@ func main() {
 	var inq, page []experiments.PhaseResult
 	needInq := func() []experiments.PhaseResult {
 		if inq == nil {
-			inq = experiments.InquirySweep(experiments.PaperBERs(), *seeds)
+			inq = experiments.InquirySweep(experiments.PaperBERs(), *seeds, runCfg)
 		}
 		return inq
 	}
 	needPage := func() []experiments.PhaseResult {
 		if page == nil {
-			page = experiments.PageSweep(experiments.PaperBERs(), *seeds)
+			page = experiments.PageSweep(experiments.PaperBERs(), *seeds, runCfg)
 		}
 		return page
 	}
@@ -137,49 +142,49 @@ func main() {
 			fmt.Printf("Fig 9: sniff-mode waveforms (2 slaves sniffing) written to %s\n", path)
 		case "10":
 			rows := experiments.Fig10MasterActivity(
-				[]float64{0, 0.0025, 0.005, 0.0075, 0.01, 0.0125, 0.015, 0.0175, 0.02}, 40000, *seed)
+				[]float64{0, 0.0025, 0.005, 0.0075, 0.01, 0.0125, 0.015, 0.0175, 0.02}, 40000, *seed, runCfg)
 			emit(experiments.Fig10Table(rows))
 		case "11":
-			rows := experiments.Fig11SniffActivity([]int{20, 30, 40, 60, 80, 100}, 100, 40000, *seed)
+			rows := experiments.Fig11SniffActivity([]int{20, 30, 40, 60, 80, 100}, 100, 40000, *seed, runCfg)
 			emit(experiments.Fig11Table(rows))
 		case "12":
 			rows := experiments.Fig12HoldActivity(
-				[]int{50, 100, 120, 150, 200, 400, 600, 800, 1000}, 60000, *seed)
+				[]int{50, 100, 120, 150, 200, 400, 600, 800, 1000}, 60000, *seed, runCfg)
 			emit(experiments.Fig12Table(rows))
 		case "ablations":
 			emit(experiments.AblationTable(
 				"Ablation: inquiry-response backoff span (BER 1/100)", "backoff_max",
-				experiments.AblationBackoff([]int{127, 255, 511, 1023, 2047}, 0.01, *seeds)))
+				experiments.AblationBackoff([]int{127, 255, 511, 1023, 2047}, 0.01, *seeds, runCfg)))
 			emit(experiments.AblationTable(
 				"Ablation: train repetitions NInquiry (BER 1/100, 1.28 s timeout)", "NInquiry",
-				experiments.AblationNInquiry([]int{16, 32, 64, 128, 256}, 0.01, *seeds)))
+				experiments.AblationNInquiry([]int{16, 32, 64, 128, 256}, 0.01, *seeds, runCfg)))
 			emit(experiments.AblationTable(
 				"Ablation: correlator sync-error threshold (BER 1/30)", "threshold",
-				experiments.AblationCorrelator([]int{1, 3, 7, 10, 14}, 1.0/30, *seeds)))
+				experiments.AblationCorrelator([]int{1, 3, 7, 10, 14}, 1.0/30, *seeds, runCfg)))
 		case "voice":
 			rows := experiments.VoiceQuality(
 				[]packet.Type{packet.TypeHV1, packet.TypeHV2, packet.TypeHV3},
 				[]experiments.BERPoint{{Label: "0", Value: 0}, {Label: "1/500", Value: 1.0 / 500},
 					{Label: "1/200", Value: 1.0 / 200}, {Label: "1/100", Value: 0.01}},
-				10000, *seed)
+				10000, *seed, runCfg)
 			emit(experiments.VoiceTable(rows))
 		case "coexistence":
-			rows := experiments.Coexistence([]float64{0, 0.25, 0.5, 0.75, 1.0}, 20000, *seed)
+			rows := experiments.Coexistence([]float64{0, 0.25, 0.5, 0.75, 1.0}, 20000, *seed, runCfg)
 			emit(experiments.CoexistenceTable(rows))
 		case "interference":
-			rows := experiments.MultiPiconet([]int{1, 2, 3, 4}, 20000, *seed)
+			rows := experiments.MultiPiconet([]int{1, 2, 3, 4}, 20000, *seed, runCfg)
 			emit(experiments.MultiPiconetTable(rows))
 		case "coex":
-			rows := experiments.CoexSweep([]int{1, 2, 3, 4, 5, 6, 7, 8}, 20000, 4, *seed)
+			rows := experiments.CoexSweep([]int{1, 2, 3, 4, 5, 6, 7, 8}, 20000, 4, *seed, runCfg)
 			emit(experiments.CoexTable(rows))
 		case "afh-adaptive":
-			rows := experiments.AdaptiveAFH([]int{7, 15, 23, 31, 39}, 0.9, 2000, 20000, *seed)
+			rows := experiments.AdaptiveAFH([]int{7, 15, 23, 31, 39}, 0.9, 2000, 20000, *seed, runCfg)
 			emit(experiments.AdaptiveAFHTable(0.9, rows))
 		case "scatternet":
-			rows := experiments.ScatternetSweep([]float64{0.2, 0.4, 0.6, 0.8, 1.0}, 20000, 4, *seed)
+			rows := experiments.ScatternetSweep([]float64{0.2, 0.4, 0.6, 0.8, 1.0}, 20000, 4, *seed, runCfg)
 			emit(experiments.ScatternetTable(rows))
 		case "density":
-			rows := experiments.DensitySweep([]int{1, 2, 4, 8, 16, 32, 48}, 20000, 4, *seed)
+			rows := experiments.DensitySweep([]int{1, 2, 4, 8, 16, 32, 48}, 20000, 4, *seed, runCfg)
 			emit(experiments.DensityTable(rows))
 		case "throughput":
 			rows := experiments.PacketTypeThroughput(
@@ -187,7 +192,7 @@ func main() {
 					packet.TypeDH3, packet.TypeDM5, packet.TypeDH5},
 				[]experiments.BERPoint{{Label: "0", Value: 0}, {Label: "1/1000", Value: 0.001},
 					{Label: "1/300", Value: 1.0 / 300}, {Label: "1/100", Value: 0.01}},
-				8000, *seed)
+				8000, *seed, runCfg)
 			emit(experiments.ThroughputTable(rows))
 		default:
 			return fmt.Errorf("unknown figure %q", name)

@@ -8,6 +8,13 @@
 // internal/runner worker pool, and btsim reports the merged outcome and
 // RF-activity statistics.
 //
+// With -spec file.json the world comes from a netspec Spec JSON file
+// (see examples/specs/) instead of a named scenario: btsim runs -slots
+// measured slots from -seed and prints the Metrics window as JSON —
+// with -trials N, the whole campaign result over N seeds — under the
+// same replica discipline as the btsimd service, so the output is
+// byte-identical to the corresponding service response fields.
+//
 // The scenario list is registered in scenarios.go (scenarioRegistry) and
 // rendered into the usage text at run time, so `btsim -h` always
 // enumerates every scenario the binary actually accepts — run it for
@@ -22,6 +29,7 @@
 //	btsim -scenario scatternet -bridges 2 -presence 0.8
 //	btsim -scenario mixed -piconets 3
 //	btsim -scenario mesh -presence 0.8
+//	btsim -spec examples/specs/office-floor.json -slots 20000 -trials 4
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "creation", scenarioList())
+	specPath := flag.String("spec", "", "run a netspec Spec JSON file instead of a named scenario (prints Metrics JSON; with -trials, the campaign result)")
 	slaves := flag.Int("slaves", 3, "number of slaves in the piconet")
 	ber := flag.Float64("ber", 0, "channel bit error rate")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -60,6 +69,11 @@ func main() {
 
 	core.SetDefaultShards(*shards)
 
+	if *specPath != "" {
+		runSpecFile(*specPath, *seed, *slots, *trials, *workers, trialProgress())
+		return
+	}
+
 	p := trialParams{
 		slaves: *slaves, ber: *ber, seed: *seed,
 		slots: *slots, tsniff: *tsniff, thold: *thold,
@@ -76,7 +90,7 @@ func main() {
 		if *vcdPath != "" {
 			fmt.Fprintln(os.Stderr, "btsim: -vcd is single-run only; ignoring it for -trials")
 		}
-		runTrials(*scenario, *trials, *workers, p)
+		runTrials(*scenario, *trials, *workers, p, trialProgress())
 		return
 	}
 

@@ -3,10 +3,34 @@ package main
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
+
+// trialProgress returns a per-run progress hook that rewrites one
+// stderr line, or nil when stderr is not a terminal (piped output must
+// stay free of carriage returns).
+func trialProgress() func(name string, done, total int) {
+	if fi, err := os.Stderr.Stat(); err != nil || fi.Mode()&os.ModeCharDevice == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	last := 0
+	return func(name string, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done <= last {
+			return // stale report from a straggling worker
+		}
+		last = done
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", name, done, total)
+		if done == total {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+	}
+}
 
 // runScenarioTrial runs one silent replica of the scenario on its own
 // simulation world. A setup panic (BuildPiconet giving up under heavy
@@ -26,8 +50,11 @@ func runScenarioTrial(scenario string, seed uint64, p trialParams) (out trialOut
 }
 
 // runTrials replicates the scenario through the parallel runner and
-// prints the merged outcome and slave RF-activity statistics.
-func runTrials(scenario string, trials, workers int, p trialParams) {
+// prints the merged outcome and slave RF-activity statistics. The
+// progress hook travels in the run's own Config — never the global
+// runner.SetProgress fallback — so btsim stays well-behaved even if it
+// is ever embedded next to other concurrent sweeps.
+func runTrials(scenario string, trials, workers int, p trialParams, progress func(name string, done, total int)) {
 	if !validScenario(scenario) {
 		fmt.Fprintf(os.Stderr, "btsim: unknown scenario %q\n", scenario)
 		os.Exit(1)
@@ -41,7 +68,7 @@ func runTrials(scenario string, trials, workers int, p trialParams) {
 			return runScenarioTrial(sc, seed, p)
 		},
 	}
-	res := sw.Run(runner.Config{Workers: workers})
+	res := sw.Run(runner.Config{Workers: workers, Progress: progress})
 
 	var acc trialOutcome
 	for i := range res[0] {

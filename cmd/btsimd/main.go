@@ -1,0 +1,74 @@
+// Command btsimd serves replica campaigns over HTTP: POST a netspec
+// Spec (or a list of parameter points), a seed range and a slot
+// horizon to /v1/jobs and the service runs the campaign on the
+// internal/runner pool, streams progress and live metrics snapshots as
+// server-sent events, and caches completed results by canonical spec
+// hash so a resubmitted campaign is a lookup rather than a simulation.
+// The results are byte-identical to running the same campaign
+// in-process — the service adds scheduling, not noise.
+//
+// Usage:
+//
+//	btsimd -addr :8080
+//	curl -s localhost:8080/v1/jobs -d @examples/specs/office-floor.json
+//	curl -N localhost:8080/v1/jobs/j1/events
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X DELETE localhost:8080/v1/jobs/j1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxJobs := flag.Int("max-jobs", 2, "campaigns running concurrently")
+	queue := flag.Int("queue", 16, "jobs queued behind the running ones before submissions get 429")
+	cacheSize := flag.Int("cache", 64, "result-cache capacity in campaigns (negative disables)")
+	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS, -1 = serial)")
+	shards := flag.Int("shards", 1, "kernel event-queue shards per replica world (output is identical for any value)")
+	snapshot := flag.Uint64("snapshot-slots", 2000, "live-metrics snapshot period in slots for SSE streams (0 disables)")
+	flag.Parse()
+
+	core.SetDefaultShards(*shards)
+	engine := simd.New(simd.Options{
+		MaxJobs:       *maxJobs,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		Workers:       *workers,
+		SnapshotSlots: *snapshot,
+	})
+	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		fmt.Fprintln(os.Stderr, "btsimd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		engine.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "btsimd: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "btsimd: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

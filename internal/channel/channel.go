@@ -68,10 +68,10 @@ type Listener interface {
 // counters; the coexistence layer and its adaptive-AFH classifier read
 // these to see where on the band the damage happens.
 type FreqCount struct {
-	Transmissions int
-	Deliveries    int
-	Collisions    int
-	Jammed        int
+	Transmissions int `json:"transmissions"`
+	Deliveries    int `json:"deliveries"`
+	Collisions    int `json:"collisions"`
+	Jammed        int `json:"jammed"`
 }
 
 // Stats counts channel-level events for the experiment reports.

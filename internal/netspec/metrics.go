@@ -12,40 +12,45 @@ import (
 // measurement window.
 type OccupancySummary struct {
 	// Mean is the time-weighted mean depth.
-	Mean float64
+	Mean float64 `json:"mean"`
 	// Max is the absolute maximum depth observed.
-	Max int
+	Max int `json:"max"`
 }
 
 // VoiceMetrics reports one SCO stream's window.
 type VoiceMetrics struct {
 	// Piconet and Slave (1-based) locate the stream.
-	Piconet, Slave int
+	Piconet int `json:"piconet"`
+	Slave   int `json:"slave"`
 	// TxFrames and RxFrames count sent and arrived voice frames.
-	TxFrames, RxFrames int
+	TxFrames int `json:"tx_frames"`
+	RxFrames int `json:"rx_frames"`
 	// BitPerfect counts frames that arrived without any residual error
 	// (the audio-quality proxy).
-	BitPerfect int
+	BitPerfect int `json:"bit_perfect"`
 }
 
 // FlowMetrics reports one end-to-end flow's window.
 type FlowMetrics struct {
 	// From and To name the endpoints.
-	From, To string
+	From string `json:"from"`
+	To   string `json:"to"`
 	// SentBytes and DeliveredBytes count SDU payload.
-	SentBytes, DeliveredBytes int
+	SentBytes      int `json:"sent_bytes"`
+	DeliveredBytes int `json:"delivered_bytes"`
 	// Latency samples end-to-end delivery latency in slots.
-	Latency stats.Sample
+	Latency stats.Sample `json:"latency"`
 }
 
 // ProbeMetrics is one probe's sampled result.
 type ProbeMetrics struct {
 	// Tx and Rx sample RF-activity fractions over the probe's devices
 	// (activity probes).
-	Tx, Rx stats.Sample
+	Tx stats.Sample `json:"tx"`
+	Rx stats.Sample `json:"rx"`
 	// PerFreq is the window's per-RF-channel stats delta (per-frequency
 	// probes).
-	PerFreq []channel.FreqCount
+	PerFreq []channel.FreqCount `json:"per_freq,omitempty"`
 }
 
 // Metrics is the unified result surface of a built world: one read
@@ -54,48 +59,50 @@ type ProbeMetrics struct {
 // at ResetMetrics and read (without closing) at Metrics.
 type Metrics struct {
 	// Slots is the measurement window length.
-	Slots uint64
+	Slots uint64 `json:"slots"`
 
 	// Bytes is the payload total delivered on single-hop ACL links
 	// (bulk and poisson traffic); PerPiconet breaks it down in build
 	// order.
-	Bytes      int
-	PerPiconet []int
+	Bytes      int   `json:"bytes"`
+	PerPiconet []int `json:"per_piconet,omitempty"`
 	// Retransmits sums the masters' ARQ retransmissions.
-	Retransmits int
+	Retransmits int `json:"retransmits"`
 	// Inter and Intra are the attributed collision-pair counts.
-	Inter, Intra int
+	Inter int `json:"inter_collisions"`
+	Intra int `json:"intra_collisions"`
 	// MapUpdates sums adaptive channel-map installs over the world's
 	// whole lifetime — unlike the window counters it is NOT zeroed by
 	// ResetMetrics, so convergence stays visible across windows.
-	MapUpdates int
+	MapUpdates int `json:"map_updates"`
 
 	// EndToEndBytes is the SDU payload delivered at flow destinations;
 	// E2ELatency samples its delivery latency in slots.
-	EndToEndBytes int
-	E2ELatency    stats.Sample
+	EndToEndBytes int          `json:"end_to_end_bytes"`
+	E2ELatency    stats.Sample `json:"e2e_latency"`
 	// Flows breaks the end-to-end accounting down per flow.
-	Flows []FlowMetrics
+	Flows []FlowMetrics `json:"flows,omitempty"`
 
 	// ForwardedFrames and DroppedFrames count the bridges' relay work;
 	// FwdLatency samples store-and-forward latency in slots.
-	ForwardedFrames, DroppedFrames int
-	FwdLatency                     stats.Sample
+	ForwardedFrames int          `json:"forwarded_frames"`
+	DroppedFrames   int          `json:"dropped_frames"`
+	FwdLatency      stats.Sample `json:"fwd_latency"`
 	// Queue describes the pooled bridge backlog.
-	Queue OccupancySummary
+	Queue OccupancySummary `json:"queue"`
 	// MembershipSwitches counts bridge radio retunes.
-	MembershipSwitches int
+	MembershipSwitches int `json:"membership_switches"`
 	// RouteMisses counts undeliverable frames (0 in a healthy net).
-	RouteMisses int
+	RouteMisses int `json:"route_misses"`
 
 	// Voice reports every SCO stream.
-	Voice []VoiceMetrics
+	Voice []VoiceMetrics `json:"voice,omitempty"`
 
 	// PerFreq is the per-RF-channel stats delta over the window.
-	PerFreq []channel.FreqCount
+	PerFreq []channel.FreqCount `json:"per_freq,omitempty"`
 
 	// Probes holds the named probe results.
-	Probes map[string]ProbeMetrics
+	Probes map[string]ProbeMetrics `json:"probes,omitempty"`
 }
 
 // GoodputKbps is the window's total delivered payload — single-hop and

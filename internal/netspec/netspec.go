@@ -20,7 +20,6 @@
 package netspec
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/hop"
@@ -59,73 +58,74 @@ const (
 type Spec struct {
 	// Piconets are the piconet stanzas, in build order. Index in this
 	// slice is the piconet's identity everywhere else in the spec.
-	Piconets []Piconet
+	Piconets []Piconet `json:"piconets"`
 	// Bridges join pairs of piconets into a scatternet.
-	Bridges []Bridge
+	Bridges []Bridge `json:"bridges,omitempty"`
 	// Traffic stanzas are started by World.Start, in order.
-	Traffic []Traffic
+	Traffic []Traffic `json:"traffic,omitempty"`
 	// Jammers are static interferers installed after construction, so
 	// topology setup happens on a clean medium and every arm of an
 	// experiment sees an identical build.
-	Jammers []Jammer
+	Jammers []Jammer `json:"jammers,omitempty"`
 	// Modes put slaves into low-power modes at the end of construction.
-	Modes []PowerMode
+	Modes []PowerMode `json:"modes,omitempty"`
 	// Probes name metric selections surfaced by World.Metrics.
-	Probes []Probe
+	Probes []Probe `json:"probes,omitempty"`
 	// Placement, when set, switches the world onto the spatial medium:
 	// devices get positions from the declared geometry and transmissions
 	// follow the path-loss range model (see placement.go). Nil keeps the
 	// paper's single shared ether.
-	Placement *Placement
+	Placement *Placement `json:"placement,omitempty"`
 }
 
 // Piconet declares one master-plus-slaves group.
 type Piconet struct {
 	// Name is the device-name prefix: the master is "<Name>.master",
 	// the slaves "<Name>.slave1"... Defaults to "p<index>".
-	Name string
+	Name string `json:"name,omitempty"`
 	// Slaves is the number of regular slaves, 1..7 (bridges hosted by
 	// this piconet count against the same 7 active members). Required:
 	// a zero-slave stanza is a validation error, not a default.
-	Slaves int
+	Slaves int `json:"slaves"`
 	// Detached builds the devices without paging them together: no
 	// links, no LMP, no traffic. Inquiry/page procedures (or an HCI
 	// host) drive connection establishment instead.
-	Detached bool
+	Detached bool `json:"detached,omitempty"`
 	// HCI attaches an hci.Controller to every device of the piconet so
 	// a host drives it through commands and events. Implies Detached.
-	HCI bool
+	HCI bool `json:"hci,omitempty"`
 	// TpollSlots is the master's maximum polling interval. Zero takes
 	// the baseband default (50 slots) in bridge-free worlds and 64 when
 	// the spec has bridges, whose mostly idle links must stay
 	// supervised by regular POLLs; saturating-pump worlds typically set
 	// TpollNever so the pumped data is the only poll.
-	TpollSlots int
+	TpollSlots int `json:"tpoll_slots,omitempty"`
 	// R1PageScan keeps the slaves' standard page-scan discipline (the
 	// spec's R1: an 18-slot window every 2048 slots) instead of the
 	// continuous scanning multi-piconet construction defaults to so
 	// foreign-piconet interference cannot starve the page handshake.
 	// The single-piconet paper scenarios set it to reproduce the
 	// standard's scan behaviour.
-	R1PageScan bool
+	R1PageScan bool `json:"r1_page_scan,omitempty"`
 
 	// AFH selects the hop-set management mode (default AFHOff).
-	AFH AFHMode
+	AFH AFHMode `json:"afh,omitempty"`
 	// OracleLo..OracleHi is the band AFHOracle excludes.
-	OracleLo, OracleHi int
+	OracleLo int `json:"oracle_lo,omitempty"`
+	OracleHi int `json:"oracle_hi,omitempty"`
 	// AssessWindowSlots is the classification period of AFHAdaptive
 	// (default 2000 slots = 1.25 s).
-	AssessWindowSlots int
+	AssessWindowSlots int `json:"assess_window_slots,omitempty"`
 	// MinObservations is how many receptions a channel needs inside one
 	// window before its classification may change (default 4).
-	MinObservations int
+	MinObservations int `json:"min_observations,omitempty"`
 	// BadThreshold is the error fraction at or above which an observed
 	// channel is classified bad (default 0.25).
-	BadThreshold float64
+	BadThreshold float64 `json:"bad_threshold,omitempty"`
 	// ReprobeWindows bounds how long a bad verdict can outlive its
 	// evidence (default 8): after that many silent windows an excluded
 	// channel is re-admitted on probation.
-	ReprobeWindows int
+	ReprobeWindows int `json:"reprobe_windows,omitempty"`
 }
 
 // Bridge declares one scatternet bridge: a device paged into piconets
@@ -134,30 +134,31 @@ type Piconet struct {
 type Bridge struct {
 	// A and B are the joined piconets' indices (A first: the bridge's
 	// collisions are attributed to A, matching its lower presence half).
-	A, B int
+	A int `json:"a"`
+	B int `json:"b"`
 
 	// PresencePeriodSlots is the timesharing period T: the bridge
 	// cycles through both piconets once per period. Must be a multiple
 	// of 4 (windows land on even-slot boundaries); default 256 slots.
-	PresencePeriodSlots int
+	PresencePeriodSlots int `json:"presence_period_slots,omitempty"`
 	// PresenceDuty is the fraction of the period the bridge radio is
 	// present in some piconet, split evenly between the two. In (0, 1];
 	// default 0.8.
-	PresenceDuty float64
+	PresenceDuty float64 `json:"presence_duty,omitempty"`
 	// GuardEvenSlots shortens each presence window by this many even
 	// slots so a multi-slot exchange never straddles a retune boundary
 	// (default 2).
-	GuardEvenSlots int
+	GuardEvenSlots int `json:"guard_even_slots,omitempty"`
 	// PacketType carries the bridge's relay links (default DM1).
-	PacketType packet.Type
+	PacketType packet.Type `json:"packet_type,omitempty"`
 	// PumpDepth bounds how many frames the bridge drain keeps in a
 	// baseband transmit queue; beyond it, backpressure stays at L2CAP
 	// where the queue statistics live (default 2).
-	PumpDepth int
+	PumpDepth int `json:"pump_depth,omitempty"`
 	// MaxQueueFrames bounds the store-and-forward backlog (both
 	// directions pooled); frames beyond it are dropped and counted
 	// (default 32).
-	MaxQueueFrames int
+	MaxQueueFrames int `json:"max_queue_frames,omitempty"`
 }
 
 // TrafficKind selects a traffic stanza's generator.
@@ -197,46 +198,48 @@ func (k TrafficKind) String() string {
 // Traffic declares one traffic source.
 type Traffic struct {
 	// Kind selects the generator. Required.
-	Kind TrafficKind
+	Kind TrafficKind `json:"kind"`
 
 	// Piconet targets bulk/voice/poisson stanzas (AllPiconets = every
 	// piconet). Ignored by flows.
-	Piconet int
+	Piconet int `json:"piconet,omitempty"`
 	// Slave narrows the target to one slave (1-based; 0 = every slave
 	// of the piconet).
-	Slave int
+	Slave int `json:"slave,omitempty"`
 
 	// PacketType is the ACL carrier for bulk/poisson (default DM1) or
 	// the HV voice type for voice (default HV3).
-	PacketType packet.Type
+	PacketType packet.Type `json:"packet_type,omitempty"`
 	// PumpDepth is the transmit-queue depth a bulk pump maintains
 	// (default 4) or a flow origin is gated on (default 2).
-	PumpDepth int
+	PumpDepth int `json:"pump_depth,omitempty"`
 
 	// TscoSlots is the voice reservation period (default full rate for
 	// the type: HV1 2, HV2 4, HV3 6).
-	TscoSlots int
+	TscoSlots int `json:"tsco_slots,omitempty"`
 	// DscoEven is the voice reservation offset in even-slot units, used
 	// to interleave multiple SCO links (default 0).
-	DscoEven int
+	DscoEven int `json:"dsco_even,omitempty"`
 
 	// MeanGapSlots is the poisson mean inter-burst gap (default 100).
-	MeanGapSlots float64
+	MeanGapSlots float64 `json:"mean_gap_slots,omitempty"`
 	// BurstBytes is the poisson burst size (default 256).
-	BurstBytes int
+	BurstBytes int `json:"burst_bytes,omitempty"`
 
 	// From and To name the flow endpoints (device names; see
 	// MasterName/SlaveName).
-	From, To string
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
 	// SDUBytes is the flow SDU payload size (default 64).
-	SDUBytes int
+	SDUBytes int `json:"sdu_bytes,omitempty"`
 }
 
 // Jammer declares a static interferer occupying channels Lo..Hi: a hit
 // transmission is destroyed with probability Duty.
 type Jammer struct {
-	Lo, Hi int
-	Duty   float64
+	Lo   int     `json:"lo"`
+	Hi   int     `json:"hi"`
+	Duty float64 `json:"duty"`
 }
 
 // PowerKind selects a low-power mode.
@@ -272,19 +275,19 @@ func (k PowerKind) String() string {
 // available at run time through the piconet's LMP manager.
 type PowerMode struct {
 	// Kind selects the mode. Required.
-	Kind PowerKind
+	Kind PowerKind `json:"kind"`
 	// Piconet targets the stanza (AllPiconets = every piconet).
-	Piconet int
+	Piconet int `json:"piconet,omitempty"`
 	// Slave narrows it to one slave (1-based; 0 = every slave).
-	Slave int
+	Slave int `json:"slave,omitempty"`
 	// TsniffSlots is the sniff anchor period (default 100).
-	TsniffSlots int
+	TsniffSlots int `json:"tsniff_slots,omitempty"`
 	// AttemptEvenSlots is the sniff attempt window (default 2).
-	AttemptEvenSlots int
+	AttemptEvenSlots int `json:"attempt_even_slots,omitempty"`
 	// TholdSlots is the repeating hold period (default 400).
-	TholdSlots int
+	TholdSlots int `json:"thold_slots,omitempty"`
 	// BeaconSlots is the park beacon interval (default 64).
-	BeaconSlots int
+	BeaconSlots int `json:"beacon_slots,omitempty"`
 }
 
 // ProbeKind selects what a probe samples.
@@ -308,11 +311,11 @@ const (
 // Probes[Name].
 type Probe struct {
 	// Name keys the result (default "probe<index>").
-	Name string
+	Name string `json:"name,omitempty"`
 	// Kind selects what is sampled. Required.
-	Kind ProbeKind
+	Kind ProbeKind `json:"kind"`
 	// Piconet targets activity probes (AllPiconets = every piconet).
-	Piconet int
+	Piconet int `json:"piconet,omitempty"`
 }
 
 // MasterName returns the default device name of piconet i's master.
@@ -492,7 +495,7 @@ func (s Spec) Validate() error { return s.withDefaults().validate() }
 
 func (s Spec) validate() error {
 	if len(s.Piconets) == 0 {
-		return errors.New("netspec: spec declares no piconets")
+		return stanzaErr("spec", 0, "", "declares no piconets")
 	}
 	if s.Placement != nil {
 		if err := s.Placement.validate(); err != nil {
@@ -530,14 +533,29 @@ func (s Spec) validate() error {
 				b.PumpDepth, b.MaxQueueFrames)
 		}
 	}
+	// Validation sees the defaulted spec, so Name is always set here.
+	// Duplicates would collide in the device table (master and slave
+	// names derive from the piconet name), which panics deep in core —
+	// reject them where the wire format can report the stanza instead.
+	names := make(map[string]int)
 	for i := range s.Piconets {
 		p := &s.Piconets[i]
+		if prev, dup := names[p.Name]; dup {
+			return stanzaErr("piconet", i, p.Name, "duplicate piconet name (also piconet %d)", prev)
+		}
+		names[p.Name] = i
 		if p.Slaves < 1 {
 			return stanzaErr("piconet", i, p.Name, "needs at least 1 slave, got %d", p.Slaves)
 		}
 		if p.Slaves+hosted[i] > 7 {
 			return stanzaErr("piconet", i, p.Name, "%d slaves and %d bridges exceed the 7 active members",
 				p.Slaves, hosted[i])
+		}
+		// Negative Tpoll would wrap through baseband's uint64 slot
+		// conversion; TpollNever is the documented "data is the poll"
+		// ceiling.
+		if p.TpollSlots < 0 || p.TpollSlots > TpollNever {
+			return stanzaErr("piconet", i, p.Name, "tpoll %d outside [0, %d]", p.TpollSlots, TpollNever)
 		}
 		if p.AFH == AFHOracle {
 			// An unset band would silently install ExcludeRange(0, 0) — a
@@ -582,6 +600,21 @@ func (s Spec) validate() error {
 		if m.TsniffSlots < 1 || m.AttemptEvenSlots < 1 || m.TholdSlots < 1 || m.BeaconSlots < 1 {
 			return stanzaErr("power", i, "", "mode parameters must be >= 1 (tsniff %d, attempt %d, thold %d, beacon %d)",
 				m.TsniffSlots, m.AttemptEvenSlots, m.TholdSlots, m.BeaconSlots)
+		}
+		// Baseband invariants, enforced here so a wire spec fails with a
+		// stanza diagnostic instead of a panic deep in EnterSniff/Park.
+		switch m.Kind {
+		case SniffMode:
+			if m.TsniffSlots < 2 || m.TsniffSlots%2 != 0 {
+				return stanzaErr("power", i, "", "Tsniff must be even and >= 2, got %d", m.TsniffSlots)
+			}
+			if m.AttemptEvenSlots > m.TsniffSlots/2 {
+				return stanzaErr("power", i, "", "sniff attempt %d exceeds Tsniff/2 (%d)", m.AttemptEvenSlots, m.TsniffSlots/2)
+			}
+		case ParkMode:
+			if m.BeaconSlots < 2 || m.BeaconSlots%2 != 0 {
+				return stanzaErr("power", i, "", "beacon period must be even and >= 2, got %d", m.BeaconSlots)
+			}
 		}
 	}
 	seen := make(map[string]bool)
@@ -692,6 +725,12 @@ func (s Spec) validateTraffic() error {
 			min := fullRateTsco[t.PacketType]
 			if t.TscoSlots < min || t.TscoSlots%2 != 0 {
 				return stanzaErr("traffic", i, "", "%v needs an even Tsco >= %d, got %d", t.PacketType, min, t.TscoSlots)
+			}
+			// The reservation wheel indexes even slots modulo Tsco/2;
+			// offsets outside [0, Tsco/2) alias through unsigned wrap at
+			// runtime and would desynchronise the overlap check below.
+			if t.DscoEven < 0 || t.DscoEven >= t.TscoSlots/2 {
+				return stanzaErr("traffic", i, "", "Dsco %d outside [0, Tsco/2 = %d)", t.DscoEven, t.TscoSlots/2)
 			}
 			for _, pi := range s.targetPiconets(t.Piconet) {
 				links := 1

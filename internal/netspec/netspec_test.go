@@ -58,9 +58,15 @@ func TestValidationNamesOffendingStanza(t *testing.T) {
 			Piconets: onePiconet,
 			Traffic: []Traffic{
 				VoiceTraffic(0, packet.TypeHV3),
-				VoiceTraffic(0, packet.TypeHV3, WithTsco(6, 3)), // offset 3 ≡ 0 mod 3
+				VoiceTraffic(0, packet.TypeHV3, WithTsco(12, 0)), // period 6, offset 0 ≡ 0 mod 3
 			},
 		}, "traffic", 1, "overlaps traffic[0]"},
+		{"aliasing SCO offset", Spec{
+			Piconets: onePiconet,
+			Traffic: []Traffic{
+				VoiceTraffic(0, packet.TypeHV3, WithTsco(6, 3)), // 3 aliases 0 mod Tsco/2
+			},
+		}, "traffic", 0, "Dsco 3 outside"},
 		{"duplicate ACL pump", Spec{
 			Piconets: []Piconet{NewPiconet(2)},
 			Traffic: []Traffic{

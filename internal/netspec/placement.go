@@ -91,39 +91,39 @@ const (
 // keeps the global ether.
 type Placement struct {
 	// Kind selects the deployment geometry. Required.
-	Kind PlacementKind
+	Kind PlacementKind `json:"kind"`
 
 	// RangeM is the delivery radius in meters: a receiver inside it
 	// decodes the transmission, outside it hears nothing decodable.
 	// Required, in [MinRangeM, MaxRangeM].
-	RangeM float64
+	RangeM float64 `json:"range_m"`
 	// InterferenceM is the outer radius of the interference-only
 	// annulus: between RangeM and InterferenceM a transmission cannot
 	// be decoded but still feeds the collision resolver. Defaults to
 	// RangeM (no annulus); must be in [RangeM, MaxRangeM].
-	InterferenceM float64
+	InterferenceM float64 `json:"interference_m,omitempty"`
 
 	// SpacingM is the grid pitch (PlaceGrid: between masters,
 	// PlaceRooms: between room centers), in (0, MaxFloorM]. Default 10.
-	SpacingM float64
+	SpacingM float64 `json:"spacing_m,omitempty"`
 	// Columns is the grid's column count (PlaceGrid). Defaults to
 	// ceil(sqrt(piconets)) — a roughly square floor.
-	Columns int
+	Columns int `json:"columns,omitempty"`
 	// RadiusM is the disc radius (PlaceDisc). Defaults to
 	// SpacingM * sqrt(piconets), keeping density roughly constant as
 	// worlds grow.
-	RadiusM float64
+	RadiusM float64 `json:"radius_m,omitempty"`
 	// ClusterRadiusM is the in-room scatter radius (PlaceRooms), in
 	// [0, MaxFloorM]. Default SpacingM/4.
-	ClusterRadiusM float64
+	ClusterRadiusM float64 `json:"cluster_radius_m,omitempty"`
 	// PiconetsPerRoom is how many piconets share a room (PlaceRooms).
 	// Default 4.
-	PiconetsPerRoom int
+	PiconetsPerRoom int `json:"piconets_per_room,omitempty"`
 
 	// SlaveSpreadM scatters each piconet's slaves (and detached
 	// devices) uniformly within this radius of their master. Must stay
 	// below RangeM so paging always reaches. Default min(2, RangeM/2).
-	SlaveSpreadM float64
+	SlaveSpreadM float64 `json:"slave_spread_m,omitempty"`
 }
 
 // GridPlacement is an office-floor layout: masters on a grid with the

@@ -1,0 +1,52 @@
+package packet
+
+import "fmt"
+
+// typeNames maps every named packet type to its String form, for the
+// text codec. The map is the inverse of String for all named types.
+var typeNames = map[Type]string{
+	TypeNull: "NULL", TypePoll: "POLL", TypeFHS: "FHS",
+	TypeDM1: "DM1", TypeDH1: "DH1",
+	TypeHV1: "HV1", TypeHV2: "HV2", TypeHV3: "HV3",
+	TypeAUX1: "AUX1",
+	TypeDM3:  "DM3", TypeDH3: "DH3", TypeDM5: "DM5", TypeDH5: "DH5",
+	TypeID: "ID",
+}
+
+// typeByName is the inverse of typeNames, built once at init.
+var typeByName = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// ParseType resolves a packet-type name ("DM1", "HV3", ...) as printed
+// by Type.String. Unknown names return an error.
+func ParseType(name string) (Type, error) {
+	if t, ok := typeByName[name]; ok {
+		return t, nil
+	}
+	return 0, fmt.Errorf("packet: unknown type %q", name)
+}
+
+// MarshalText encodes the type as its String name, which is what the
+// netspec JSON wire format carries. Unnamed codes refuse to marshal
+// rather than emit a form UnmarshalText cannot read back.
+func (t Type) MarshalText() ([]byte, error) {
+	if n, ok := typeNames[t]; ok {
+		return []byte(n), nil
+	}
+	return nil, fmt.Errorf("packet: type %#x has no wire name", uint8(t))
+}
+
+// UnmarshalText decodes a type name produced by MarshalText.
+func (t *Type) UnmarshalText(text []byte) error {
+	v, err := ParseType(string(text))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}

@@ -14,6 +14,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,7 +38,17 @@ type Config struct {
 	// Progress, when non-nil, overrides the package-level progress hook
 	// for this run. It is called with the completed and total trial
 	// counts after every batch, from whichever worker finished it.
+	// Prefer this over SetProgress wherever runs can overlap — the
+	// service layer streams one channel per job, and a global hook
+	// would interleave them.
 	Progress func(name string, done, total int)
+	// Context, when non-nil, cancels the replica loop: once it is done,
+	// no further trial starts (in-flight trials finish their current
+	// batch entry) and Run returns with the unreached results left at
+	// their zero values. Callers that care whether the sweep completed
+	// check Context.Err() — a canceled run's results are partial by
+	// construction and must not be reported as a campaign.
+	Context context.Context
 }
 
 var (
@@ -166,8 +177,20 @@ func (s Sweep[P, R]) Run(cfg Config) [][]R {
 			}
 		}
 	}
+	// Cancellation gates the replica loop itself: every batch claim —
+	// serial or pooled — re-checks the context, so a canceled campaign
+	// stops within one trial rather than one batch row. Trials that
+	// want to stop mid-replica additionally watch the same context from
+	// inside their Trial closure (the service layer runs its simulation
+	// horizon in slot chunks for exactly this).
+	canceled := func() bool {
+		return cfg.Context != nil && cfg.Context.Err() != nil
+	}
 	runRange := func(start, end int) {
 		for j := start; j < end; j++ {
+			if canceled() {
+				return
+			}
 			point, replica := j/replicas, j%replicas
 			results[point][replica] = s.Trial(seedOf(point, replica), s.Points[point])
 		}
@@ -175,7 +198,7 @@ func (s Sweep[P, R]) Run(cfg Config) [][]R {
 	}
 
 	if workers == Serial {
-		for start := 0; start < total; start += batch {
+		for start := 0; start < total && !canceled(); start += batch {
 			runRange(start, min(start+batch, total))
 		}
 		return results
@@ -191,7 +214,7 @@ func (s Sweep[P, R]) Run(cfg Config) [][]R {
 			defer wg.Done()
 			for {
 				start := int(cursor.Add(int64(batch))) - batch
-				if start >= total {
+				if start >= total || canceled() {
 					return
 				}
 				runRange(start, min(start+batch, total))

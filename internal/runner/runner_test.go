@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync/atomic"
@@ -93,6 +94,48 @@ func TestRunProgressCountsEveryTrial(t *testing.T) {
 	}
 	if last.Load() != 36 {
 		t.Fatalf("final done = %d", last.Load())
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	// A context canceled mid-sweep stops the replica loop: some trials
+	// ran, the rest stayed at their zero value, and Run returned instead
+	// of draining the whole cursor. The trial itself cancels after a
+	// fixed number of completions so the test is schedule-independent.
+	for _, workers := range []int{Serial, 1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		sw := testSweep(10, 20)
+		trial := sw.Trial
+		sw.Trial = func(seed uint64, p int) int {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return trial(seed, p)
+		}
+		res := sw.Run(Config{Workers: workers, Context: ctx})
+		if len(res) != 10 || len(res[0]) != 20 {
+			t.Fatalf("workers %d: result shape %dx%d", workers, len(res), len(res[0]))
+		}
+		got := int(ran.Load())
+		if got >= 200 {
+			t.Fatalf("workers %d: cancellation did not stop the sweep (%d trials ran)", workers, got)
+		}
+		if got < 5 {
+			t.Fatalf("workers %d: only %d trials ran before cancel", workers, got)
+		}
+		cancel()
+	}
+
+	// A pre-canceled context runs nothing at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	sw := testSweep(3, 3)
+	sw.Trial = func(seed uint64, p int) int { ran.Add(1); return 0 }
+	sw.Run(Config{Workers: Serial, Context: ctx})
+	if ran.Load() != 0 {
+		t.Fatalf("pre-canceled context ran %d trials", ran.Load())
 	}
 }
 

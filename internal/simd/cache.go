@@ -1,0 +1,54 @@
+package simd
+
+import "container/list"
+
+// cache is a plain LRU over completed campaign results, keyed by
+// Request.CacheKey. Results are immutable once stored (the engine never
+// mutates a *Result after completion), so hits can hand out the shared
+// pointer without copying. Not goroutine-safe; the engine serialises
+// access under its own mutex.
+type cache struct {
+	cap     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result and marks it most recently used.
+func (c *cache) get(key string) (*Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores the result, evicting the least recently used entry when
+// the cache is full. A zero or negative capacity disables caching.
+func (c *cache) put(key string, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+func (c *cache) len() int { return c.order.Len() }

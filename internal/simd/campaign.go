@@ -1,0 +1,205 @@
+package simd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netspec"
+	"repro/internal/runner"
+)
+
+// SeedRange names the replica seeds of a campaign: Count consecutive
+// seeds starting at First. Replica r of every point runs under seed
+// First+r — common random numbers across points, exactly like the
+// experiments layer's sweeps.
+type SeedRange struct {
+	First uint64 `json:"first"`
+	Count int    `json:"count"`
+}
+
+// Request is the body of POST /v1/jobs: a replica campaign over one or
+// more netspec worlds. Either Spec (one point) or Points (a parameter
+// sweep, each point a full Spec) names the worlds; Seeds and Slots fix
+// the replica seeds and the measurement horizon. The whole request is
+// deterministic by construction — resubmitting it yields byte-identical
+// results, which is what makes the result cache sound.
+type Request struct {
+	// Spec is the single-point form. Ignored when Points is non-empty.
+	Spec *netspec.Spec `json:"spec,omitempty"`
+	// Points is the sweep form: one full Spec per parameter point.
+	Points []netspec.Spec `json:"points,omitempty"`
+	// Seeds are the replica seeds shared by every point.
+	Seeds SeedRange `json:"seeds"`
+	// Slots is the measured horizon of every replica.
+	Slots uint64 `json:"slots"`
+	// SettleSlots run after World.Start and before the measurement
+	// window opens (default 0); the paper's coexistence sweeps use a
+	// short settle so ARQ pipelines are primed when measurement starts.
+	SettleSlots uint64 `json:"settle_slots,omitempty"`
+}
+
+// normalized returns the request with the single-point form folded into
+// Points and defaults applied, or an error describing why it can never
+// run. Spec validation errors come back as the *netspec.StanzaError the
+// spec layer produced, so API clients see the same diagnostics the
+// library gives.
+func (r Request) normalized() (Request, error) {
+	if len(r.Points) == 0 {
+		if r.Spec == nil {
+			return r, fmt.Errorf("simd: request has neither spec nor points")
+		}
+		r.Points = []netspec.Spec{*r.Spec}
+	}
+	r.Spec = nil
+	if r.Seeds.Count == 0 {
+		r.Seeds.Count = 1
+	}
+	if r.Seeds.Count < 0 {
+		return r, fmt.Errorf("simd: seeds.count %d is negative", r.Seeds.Count)
+	}
+	if r.Slots == 0 {
+		return r, fmt.Errorf("simd: slots must be at least 1")
+	}
+	for i := range r.Points {
+		if err := r.Points[i].Validate(); err != nil {
+			return r, fmt.Errorf("simd: points[%d]: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// CacheKey is the request's identity for the result cache: the hex
+// SHA-256 over the canonical encoding of every point plus the seed
+// range and horizons. Two requests that build the same worlds and run
+// the same replicas — however their specs spelled the defaults — key
+// identically.
+func (r Request) CacheKey() (string, error) {
+	n, err := r.normalized()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	var hdr [40]byte
+	binary.LittleEndian.PutUint64(hdr[0:], n.Seeds.First)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(n.Seeds.Count))
+	binary.LittleEndian.PutUint64(hdr[16:], n.Slots)
+	binary.LittleEndian.PutUint64(hdr[24:], n.SettleSlots)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(n.Points)))
+	h.Write(hdr[:])
+	for i := range n.Points {
+		c, err := n.Points[i].Canonical()
+		if err != nil {
+			return "", fmt.Errorf("simd: points[%d]: %w", i, err)
+		}
+		var sz [8]byte
+		binary.LittleEndian.PutUint64(sz[:], uint64(len(c)))
+		h.Write(sz[:])
+		h.Write(c)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// PointResult is one parameter point's replica table.
+type PointResult struct {
+	// SpecHash is the point's canonical spec hash (netspec.Spec.Hash).
+	SpecHash string `json:"spec_hash"`
+	// Replicas holds one Metrics window per seed, in seed order.
+	Replicas []netspec.Metrics `json:"replicas"`
+}
+
+// Result is a completed campaign: [point][replica] metrics, the same
+// layout runner.Sweep returns, so serial in-process runs and service
+// runs are comparable entry by entry.
+type Result struct {
+	Points []PointResult `json:"points"`
+}
+
+// replicaChunkSlots is the horizon granularity at which a running
+// replica re-checks its context. Chunking only splits RunSlots calls —
+// the kernel advances to the same slot boundaries either way — so the
+// chunk size cannot influence results, only cancellation latency.
+const replicaChunkSlots = 4096
+
+// RunReplica runs one replica of one point under the campaign
+// discipline — build from seed, start, settle, open the window, run the
+// horizon — and returns its Metrics window. This exact function is the
+// unit the service executes per (point, seed), and cmd/btsim -spec
+// calls it too, which is why a CLI run and the matching server replica
+// entry are byte-identical JSON. A non-nil ctx cancels between slot
+// chunks; the partial window is returned and the caller is responsible
+// for discarding it (campaign results never include canceled windows).
+func RunReplica(ctx context.Context, spec netspec.Spec, seed, settleSlots, slots uint64) (netspec.Metrics, error) {
+	s := core.NewSimulation(core.Options{Seed: seed})
+	w, err := netspec.Build(s, spec)
+	if err != nil {
+		return netspec.Metrics{}, err
+	}
+	w.Start()
+	if settleSlots > 0 {
+		s.RunSlots(settleSlots)
+	}
+	w.ResetMetrics()
+	for done := uint64(0); done < slots; {
+		if ctx != nil && ctx.Err() != nil {
+			return w.Metrics(), ctx.Err()
+		}
+		n := min(replicaChunkSlots, slots-done)
+		s.RunSlots(n)
+		done += n
+	}
+	return w.Metrics(), nil
+}
+
+// Run executes the campaign and returns its result. The replicas fan
+// out through runner.Sweep under cfg (workers, progress, context), and
+// the [point][replica] result layout is schedule-independent, so any
+// worker count — and the serial reference the determinism test uses —
+// produces byte-identical Result JSON. A canceled context returns
+// ctx.Err() and no result.
+func Run(ctx context.Context, req Request, cfg runner.Config) (*Result, error) {
+	n, err := req.normalized()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Context = ctx
+	type rep struct {
+		m   netspec.Metrics
+		err error
+	}
+	sw := runner.Sweep[netspec.Spec, rep]{
+		Name:     "campaign",
+		Points:   n.Points,
+		Replicas: n.Seeds.Count,
+		Seed: func(point, replica int) uint64 {
+			return n.Seeds.First + uint64(replica)
+		},
+		Trial: func(seed uint64, spec netspec.Spec) rep {
+			m, err := RunReplica(ctx, spec, seed, n.SettleSlots, n.Slots)
+			return rep{m, err}
+		},
+	}
+	rows := sw.Run(cfg)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	res := &Result{Points: make([]PointResult, len(n.Points))}
+	for i := range n.Points {
+		hash, err := n.Points[i].Hash()
+		if err != nil {
+			return nil, err
+		}
+		pr := PointResult{SpecHash: hash, Replicas: make([]netspec.Metrics, len(rows[i]))}
+		for j, r := range rows[i] {
+			if r.err != nil {
+				return nil, fmt.Errorf("simd: points[%d] seed %d: %w", i, n.Seeds.First+uint64(j), r.err)
+			}
+			pr.Replicas[j] = r.m
+		}
+		res.Points[i] = pr
+	}
+	return res, nil
+}

@@ -1,0 +1,282 @@
+package simd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netspec"
+	"repro/internal/runner"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (int, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var st Status
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding status: %v\n%s", err, data)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: HTTP %d", id, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  []byte
+}
+
+// streamEvents consumes /v1/jobs/{id}/events until the server closes
+// the stream and returns every frame in order.
+func streamEvents(t *testing.T, ts *httptest.Server, id string) []sseFrame {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			frames = append(frames, cur)
+			cur = sseFrame{}
+		}
+	}
+	return frames
+}
+
+func specJSON(t *testing.T) string {
+	t.Helper()
+	enc, err := json.Marshal(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(enc)
+}
+
+func TestServerJobRoundTrip(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial, SnapshotSlots: 512})
+	defer e.Close()
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"spec": %s, "seeds": {"first": 1, "count": 3}, "slots": 4096}`, specJSON(t))
+	code, st := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", code)
+	}
+
+	// The SSE stream must end with an authoritative terminal frame.
+	frames := streamEvents(t, ts, st.ID)
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames")
+	}
+	if frames[0].event != "state" {
+		t.Fatalf("first frame %q, want the catch-up state", frames[0].event)
+	}
+	var final StateEvent
+	if err := json.Unmarshal(frames[len(frames)-1].data, &final); err != nil {
+		t.Fatalf("terminal frame: %v", err)
+	}
+	if frames[len(frames)-1].event != "state" || final.State != StateDone {
+		t.Fatalf("terminal frame %s %+v, want state/done", frames[len(frames)-1].event, final)
+	}
+
+	got := getStatus(t, ts, st.ID)
+	if got.State != StateDone || got.Result == nil {
+		t.Fatalf("status after stream %+v, want done with result", got)
+	}
+	if len(got.Result.Points) != 1 || len(got.Result.Points[0].Replicas) != 3 {
+		t.Fatalf("result shape %+v, want 1 point x 3 replicas", got.Result)
+	}
+
+	// Resubmit: 200 (not 202) and cached.
+	code, st2 := postJob(t, ts, body)
+	if code != http.StatusOK || !st2.Cached {
+		t.Fatalf("resubmit: HTTP %d cached=%v, want 200 cached", code, st2.Cached)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("stats %+v, want hits=1 misses=1", stats.Cache)
+	}
+	if stats.Jobs[StateDone] != 2 {
+		t.Fatalf("stats count %d done jobs, want 2", stats.Jobs[StateDone])
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	defer e.Close()
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed JSON", `{`, http.StatusBadRequest},
+		{"unknown field", `{"sped": {}}`, http.StatusBadRequest},
+		{"no spec", `{"slots": 100}`, http.StatusUnprocessableEntity},
+		{"invalid spec", `{"spec": {"piconets": [{"slaves": 9}]}, "slots": 100}`, http.StatusUnprocessableEntity},
+	} {
+		if code, _ := postJob(t, ts, tc.body); code != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerCancel(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	defer e.Close()
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"spec": %s, "seeds": {"first": 900, "count": 1}, "slots": 5000000}`, specJSON(t))
+	code, st := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d, want 202", resp.StatusCode)
+	}
+	waitFor(t, "cancellation", func() bool { return getStatus(t, ts, st.ID).State == StateCanceled })
+}
+
+// TestServerCampaignDeterminism is the service's determinism pin: a
+// campaign submitted over HTTP and run on a parallel worker pool
+// returns a result byte-identical to the same campaign run in-process
+// on the serial reference path. This is the contract that makes the
+// result cache — and cross-machine result comparison — sound.
+func TestServerCampaignDeterminism(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: 4})
+	defer e.Close()
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	req := Request{
+		Points: []netspec.Spec{
+			tinySpec(),
+			{
+				Piconets:  netspec.HomogeneousPiconets(2, 1),
+				Traffic:   []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+				Placement: netspec.GridPlacement(12, 10),
+			},
+		},
+		Seeds:       SeedRange{First: 3, Count: 4},
+		Slots:       3000,
+		SettleSlots: 64,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, st := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitFor(t, "campaign completion", func() bool { return getStatus(t, ts, st.ID).State == StateDone })
+
+	// Read the result back as raw JSON so no float re-encoding can
+	// launder a difference.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var served bytes.Buffer
+	if err := json.Compact(&served, raw.Result); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := Run(context.Background(), req, runner.Config{Workers: runner.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served.Bytes(), want) {
+		t.Fatalf("served campaign diverged from the in-process serial reference:\n  served: %s\n  serial: %s", served.Bytes(), want)
+	}
+}

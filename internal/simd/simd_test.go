@@ -1,0 +1,351 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netspec"
+	"repro/internal/runner"
+)
+
+// tinySpec is a cheap but non-trivial world: one piconet, one slave,
+// a saturating bulk pump. Every engine test that doesn't care about
+// the world's contents uses it.
+func tinySpec() netspec.Spec {
+	return netspec.Spec{
+		Piconets: []netspec.Piconet{{Slaves: 1}},
+		Traffic:  []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+	}
+}
+
+// tinyReq is a campaign over tinySpec that completes in well under a
+// second. vary perturbs the seed range so distinct calls miss the cache.
+func tinyReq(vary uint64) Request {
+	spec := tinySpec()
+	return Request{
+		Spec:  &spec,
+		Seeds: SeedRange{First: 1 + vary, Count: 2},
+		Slots: 2000,
+	}
+}
+
+// blockerReq is a campaign long enough to hold a runner slot until the
+// test cancels it (cancellation lands at the next 4096-slot chunk).
+func blockerReq() Request {
+	spec := tinySpec()
+	return Request{
+		Spec:  &spec,
+		Seeds: SeedRange{First: 900, Count: 1},
+		Slots: 5_000_000,
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitState(t *testing.T, job *Job, want State) {
+	t.Helper()
+	waitFor(t, string("job state "+want), func() bool { return job.State() == want })
+}
+
+func TestEngineJobLifecycle(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	defer e.Close()
+
+	job, err := e.Submit(tinyReq(0))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if job.ID == "" {
+		t.Fatal("job has no ID")
+	}
+	waitState(t, job, StateDone)
+
+	st := job.Status()
+	if st.Cached {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if st.Done != st.Total || st.Total != 2 {
+		t.Fatalf("progress %d/%d, want 2/2", st.Done, st.Total)
+	}
+	if st.Result == nil || len(st.Result.Points) != 1 || len(st.Result.Points[0].Replicas) != 2 {
+		t.Fatalf("result shape wrong: %+v", st.Result)
+	}
+	if st.Result.Points[0].SpecHash == "" {
+		t.Fatal("point carries no spec hash")
+	}
+	if got, ok := e.Job(job.ID); !ok || got != job {
+		t.Fatal("job table lookup failed")
+	}
+}
+
+func TestEngineCacheHitAndEviction(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial, CacheSize: 1})
+	defer e.Close()
+
+	first, err := e.Submit(tinyReq(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, first, StateDone)
+
+	// Same request again: an instant done job flagged cached, sharing
+	// the result, and a hit on the counters.
+	again, err := e.Submit(tinyReq(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State() != StateDone || !again.Status().Cached {
+		t.Fatalf("resubmission state %s cached=%v, want instant cached done", again.State(), again.Status().Cached)
+	}
+	if a, b := first.Status().Result, again.Status().Result; a != b {
+		t.Fatal("cache hit did not share the result")
+	}
+	if s := e.Stats(); s.Cache.Hits != 1 || s.Cache.Misses != 1 || s.Cache.Entries != 1 {
+		t.Fatalf("cache counters %+v, want hits=1 misses=1 entries=1", s.Cache)
+	}
+
+	// A different campaign evicts the only entry (capacity 1)...
+	other, err := e.Submit(tinyReq(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, other, StateDone)
+	// ...so the original request misses again.
+	third, err := e.Submit(tinyReq(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Status().Cached {
+		t.Fatal("evicted entry still hit")
+	}
+	waitState(t, third, StateDone)
+	if s := e.Stats(); s.Cache.Misses != 3 || s.Cache.Entries != 1 {
+		t.Fatalf("cache counters after eviction %+v, want misses=3 entries=1", s.Cache)
+	}
+}
+
+func TestEngineQueueFIFOAndFull(t *testing.T) {
+	e := New(Options{MaxJobs: 1, QueueDepth: 2, Workers: runner.Serial})
+	defer e.Close()
+
+	blocker, err := e.Submit(blockerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning)
+
+	q1, err := e.Submit(tinyReq(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Submit(tinyReq(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.State() != StateQueued || q2.State() != StateQueued {
+		t.Fatalf("states %s/%s, want queued/queued", q1.State(), q2.State())
+	}
+	if _, err := e.Submit(tinyReq(30)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond QueueDepth: %v, want ErrQueueFull", err)
+	}
+	if s := e.Stats(); s.QueueDepth != 2 {
+		t.Fatalf("stats queue depth %d, want 2", s.QueueDepth)
+	}
+
+	// Releasing the slot drains the queue in submission order.
+	blocker.Cancel()
+	waitState(t, blocker, StateCanceled)
+	waitState(t, q1, StateDone)
+	waitState(t, q2, StateDone)
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New(Options{MaxJobs: 1, QueueDepth: 4, Workers: runner.Serial})
+	defer e.Close()
+
+	running, err := e.Submit(blockerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := e.Submit(tinyReq(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+
+	// A queued job cancels instantly, without ever taking the slot.
+	queued.Cancel()
+	if queued.State() != StateCanceled {
+		t.Fatalf("queued job state %s after Cancel, want canceled", queued.State())
+	}
+
+	// A running job stops at the next replica chunk.
+	running.Cancel()
+	waitState(t, running, StateCanceled)
+	if st := running.Status(); st.Result != nil {
+		t.Fatal("canceled job carries a result")
+	}
+
+	// Cancel on a terminal job is a no-op.
+	running.Cancel()
+	if running.State() != StateCanceled {
+		t.Fatal("Cancel changed a terminal state")
+	}
+
+	if s := e.Stats(); s.Jobs[StateCanceled] != 2 {
+		t.Fatalf("stats count %d canceled jobs, want 2", s.Jobs[StateCanceled])
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	e := New(Options{MaxJobs: 1, QueueDepth: 4, Workers: runner.Serial})
+	blocker, err := e.Submit(blockerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := e.Submit(tinyReq(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning)
+
+	e.Close()
+	if blocker.State() != StateCanceled || queued.State() != StateCanceled {
+		t.Fatalf("states after Close: %s/%s, want canceled/canceled", blocker.State(), queued.State())
+	}
+	if _, err := e.Submit(tinyReq(70)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestEngineRejectsInvalidRequests(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	defer e.Close()
+
+	if _, err := e.Submit(Request{Slots: 100}); err == nil {
+		t.Fatal("request with no spec accepted")
+	}
+	spec := tinySpec()
+	if _, err := e.Submit(Request{Spec: &spec}); err == nil {
+		t.Fatal("request with zero slots accepted")
+	}
+	bad := netspec.Spec{Piconets: []netspec.Piconet{{Slaves: 9}}}
+	_, err := e.Submit(Request{Spec: &bad, Slots: 100})
+	var se *netspec.StanzaError
+	if !errors.As(err, &se) {
+		t.Fatalf("invalid spec error %v, want a wrapped *netspec.StanzaError", err)
+	}
+}
+
+func TestJobEvents(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial, SnapshotSlots: 256})
+	defer e.Close()
+
+	spec := tinySpec()
+	job, err := e.Submit(Request{
+		Spec:  &spec,
+		Seeds: SeedRange{First: 200, Count: 4},
+		Slots: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, catchUp := job.Subscribe()
+	defer job.Unsubscribe(ch)
+	if len(catchUp) == 0 || catchUp[0].Type != "state" {
+		t.Fatalf("catch-up %+v, want a leading state frame", catchUp)
+	}
+
+	var progress, snapshots int
+	var last StateEvent
+	deadline := time.After(30 * time.Second)
+	for done := false; !done; {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				done = true
+				break
+			}
+			switch ev.Type {
+			case "state":
+				last = ev.Data.(StateEvent)
+			case "progress":
+				progress++
+			case "snapshot":
+				snapshots++
+				if _, ok := ev.Data.(netspec.Metrics); !ok {
+					t.Fatalf("snapshot payload is %T, want netspec.Metrics", ev.Data)
+				}
+			}
+		case <-deadline:
+			t.Fatal("event stream never closed")
+		}
+	}
+	if last.State != StateDone {
+		t.Fatalf("final state frame %+v, want done", last)
+	}
+	if progress == 0 {
+		t.Fatal("no progress frames over a 4-replica campaign")
+	}
+	if snapshots == 0 {
+		t.Fatal("no snapshot frames despite SnapshotSlots > 0")
+	}
+
+	// Subscribing to a terminal job yields a closed channel plus the
+	// terminal state as catch-up.
+	ch2, catchUp2 := job.Subscribe()
+	if _, open := <-ch2; open {
+		t.Fatal("terminal subscription channel not closed")
+	}
+	if st := catchUp2[0].Data.(StateEvent); st.State != StateDone {
+		t.Fatalf("terminal catch-up %+v, want done", st)
+	}
+}
+
+// TestRunMatchesRunReplica pins the campaign fan-out to the underlying
+// replica discipline: entry [i][j] of a Run result is byte-identical
+// JSON to RunReplica on point i, seed First+j.
+func TestRunMatchesRunReplica(t *testing.T) {
+	spec := tinySpec()
+	pair := netspec.Spec{
+		Piconets:  netspec.HomogeneousPiconets(2, 1),
+		Traffic:   []netspec.Traffic{netspec.BulkTraffic(netspec.AllPiconets)},
+		Placement: netspec.GridPlacement(12, 10),
+	}
+	req := Request{
+		Points:      []netspec.Spec{spec, pair},
+		Seeds:       SeedRange{First: 5, Count: 3},
+		Slots:       3000,
+		SettleSlots: 64,
+	}
+	res, err := Run(context.Background(), req, runner.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Points {
+		for j, m := range p.Replicas {
+			want, err := RunReplica(nil, req.Points[i], req.Seeds.First+uint64(j), req.SettleSlots, req.Slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := json.Marshal(m)
+			b, _ := json.Marshal(want)
+			if string(a) != string(b) {
+				t.Fatalf("points[%d] replica %d diverged from RunReplica:\n  sweep:   %s\n  replica: %s", i, j, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package stats
+
+import "encoding/json"
+
+// sampleSummary is the wire shape of a Sample: the summary statistics
+// the experiment tables print, not the raw observations — a latency
+// sample can hold one entry per delivered SDU, far too heavy for a
+// metrics response. Marshaling is deterministic (a pure function of
+// the observations), which is what lets the service layer's
+// determinism contract extend to whole JSON bodies.
+type sampleSummary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+}
+
+// MarshalJSON encodes the sample as its summary statistics.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleSummary{
+		N: s.N(), Mean: s.Mean(), StdDev: s.StdDev(),
+		Min: s.Min(), Max: s.Max(),
+		P50: s.Quantile(0.5), P95: s.Quantile(0.95),
+	})
+}

@@ -9,8 +9,8 @@
 # blocks.
 #
 # Metrics fall into two classes with different thresholds:
-#   - timing/throughput (ns/op, replicas/s): machine-dependent, so
-#     only deltas past 25% are flagged;
+#   - timing/throughput (ns/op, replicas/s, jobs/s): machine-dependent,
+#     so only deltas past 25% are flagged;
 #   - figure result metrics (kbps, %saving@T100, TS@..., fail@...):
 #     fully seed-determined, so ANY drift beyond float formatting
 #     means the simulation's behaviour changed and is flagged.
@@ -120,13 +120,13 @@ END {
             }
             d = (w - o) / o * 100
             flag = ""
-            timing = (u == "ns/op" || u == "replicas/s")
+            timing = (u == "ns/op" || u == "replicas/s" || u == "jobs/s")
             # Shard-scaling rows: timing-class thresholds for any unit.
             if (name ~ /^BenchmarkShardedKernel/ || name ~ /\/shards=/) timing = 1
             if (timing) {
                 # Smoke runs are single-iteration: only yell past 25%.
-                if (u == "replicas/s") {
-                    if (d < -25) { flag = "  <-- fewer replicas/s"; warned = 1 }
+                if (u == "replicas/s" || u == "jobs/s") {
+                    if (d < -25) { flag = "  <-- fewer " u; warned = 1 }
                 } else if (d > 25 || d < -25) {
                     if (u == "ns/op") { if (d > 25) { flag = "  <-- slower"; warned = 1 } }
                     else { flag = "  <-- shard timing moved"; warned = 1 }
