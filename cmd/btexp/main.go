@@ -37,7 +37,7 @@ func stderrIsTerminal() bool {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive, scatternet, density")
+	fig := flag.String("fig", "all", "figure to regenerate: 5..12, all, ablations, throughput, voice, coexistence, interference, coex, afh-adaptive, scatternet, density, fork")
 	seeds := flag.Int("seeds", 40, "simulation repetitions per sweep point (Figs 6-8)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "output file for waveform figures (5, 9); default fig<N>.vcd")
@@ -186,6 +186,9 @@ func main() {
 		case "density":
 			rows := experiments.DensitySweep([]int{1, 2, 4, 8, 16, 32, 48}, 20000, 4, *seed, runCfg)
 			emit(experiments.DensityTable(rows))
+		case "fork":
+			rows := experiments.ForkEnsemble([]int{2, 4}, 20000, 4000, 4, *seed, runCfg)
+			emit(experiments.ForkTable(rows))
 		case "throughput":
 			rows := experiments.PacketTypeThroughput(
 				[]packet.Type{packet.TypeDM1, packet.TypeDH1, packet.TypeDM3,

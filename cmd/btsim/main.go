@@ -13,7 +13,10 @@
 // measured slots from -seed and prints the Metrics window as JSON —
 // with -trials N, the whole campaign result over N seeds — under the
 // same replica discipline as the btsimd service, so the output is
-// byte-identical to the corresponding service response fields.
+// byte-identical to the corresponding service response fields. -settle
+// adds warm-up slots before the measurement window; -fork settles once,
+// snapshots the world at a quiescent slot edge, and forks the replicas
+// from the checkpoint instead of rebuilding and re-settling each one.
 //
 // The scenario list is registered in scenarios.go (scenarioRegistry) and
 // rendered into the usage text at run time, so `btsim -h` always
@@ -57,6 +60,8 @@ func main() {
 	jamWidth := flag.Int("jam-width", 23, "jammed channels starting at channel 30 (afh-adaptive scenario)")
 	bridges := flag.Int("bridges", 1, "scatternet bridges; the chain has bridges+1 piconets (scatternet scenario)")
 	presence := flag.Float64("presence", 0.8, "bridge presence duty cycle in (0,1] (scatternet scenario)")
+	settle := flag.Uint64("settle", 0, "warm-up slots before the measurement window opens (-spec only)")
+	fork := flag.Bool("fork", false, "settle once, snapshot, and fork the replicas from the checkpoint instead of rebuilding each world (-spec only)")
 	trials := flag.Int("trials", 1, "replicate the scenario this many times through the parallel runner")
 	workers := flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS, -1 = serial)")
 	shards := flag.Int("shards", 1, "kernel event-queue shards per world (output is identical for any value)")
@@ -70,8 +75,12 @@ func main() {
 	core.SetDefaultShards(*shards)
 
 	if *specPath != "" {
-		runSpecFile(*specPath, *seed, *slots, *trials, *workers, trialProgress())
+		runSpecFile(*specPath, *seed, *slots, *settle, *trials, *workers, *fork, trialProgress())
 		return
+	}
+	if *fork || *settle != 0 {
+		fmt.Fprintln(os.Stderr, "btsim: -fork and -settle apply to -spec runs only")
+		os.Exit(1)
 	}
 
 	p := trialParams{

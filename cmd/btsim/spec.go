@@ -19,7 +19,7 @@ import (
 // Either way the JSON is byte-identical to what the service returns for
 // the same spec, seeds and horizon — the CLI and the server share
 // simd.RunReplica.
-func runSpecFile(path string, seed, slots uint64, trials, workers int, progress func(string, int, int)) {
+func runSpecFile(path string, seed, slots, settle uint64, trials, workers int, fork bool, progress func(string, int, int)) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("btsim: %v", err)
@@ -35,17 +35,33 @@ func runSpecFile(path string, seed, slots uint64, trials, workers int, progress 
 	}
 
 	if trials <= 1 {
-		m, err := simd.RunReplica(nil, spec, seed, 0, slots)
-		if err != nil {
-			fatalf("btsim: %v", err)
+		var m netspec.Metrics
+		if fork {
+			// One settled world, one fork with seed 0: the straight
+			// continuation of the checkpoint — same discipline as
+			// replica 0 of a forked campaign.
+			ck, err := simd.SettleCheckpoint(spec, seed, settle)
+			if err != nil {
+				fatalf("btsim: %v", err)
+			}
+			if m, err = simd.ForkReplica(nil, ck, 0, slots); err != nil {
+				fatalf("btsim: %v", err)
+			}
+		} else {
+			var err error
+			if m, err = simd.RunReplica(nil, spec, seed, settle, slots); err != nil {
+				fatalf("btsim: %v", err)
+			}
 		}
 		printJSON(m)
 		return
 	}
 	res, err := simd.Run(context.Background(), simd.Request{
-		Spec:  &spec,
-		Seeds: simd.SeedRange{First: seed, Count: trials},
-		Slots: slots,
+		Spec:        &spec,
+		Seeds:       simd.SeedRange{First: seed, Count: trials},
+		Slots:       slots,
+		SettleSlots: settle,
+		Fork:        fork,
 	}, runner.Config{Workers: workers, Progress: progress})
 	if err != nil {
 		fatalf("btsim: %v", err)

@@ -37,18 +37,21 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 2, "campaigns running concurrently")
 	queue := flag.Int("queue", 16, "jobs queued behind the running ones before submissions get 429")
 	cacheSize := flag.Int("cache", 64, "result-cache capacity in campaigns (negative disables)")
+	ckCache := flag.Int("ck-cache", 16, "checkpoint-cache capacity in settled worlds for forked campaigns (negative disables)")
 	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS, -1 = serial)")
 	shards := flag.Int("shards", 1, "kernel event-queue shards per replica world (output is identical for any value)")
 	snapshot := flag.Uint64("snapshot-slots", 2000, "live-metrics snapshot period in slots for SSE streams (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget: SIGTERM stops intake and lets running campaigns finish for up to this long before they are canceled")
 	flag.Parse()
 
 	core.SetDefaultShards(*shards)
 	engine := simd.New(simd.Options{
-		MaxJobs:       *maxJobs,
-		QueueDepth:    *queue,
-		CacheSize:     *cacheSize,
-		Workers:       *workers,
-		SnapshotSlots: *snapshot,
+		MaxJobs:             *maxJobs,
+		QueueDepth:          *queue,
+		CacheSize:           *cacheSize,
+		CheckpointCacheSize: *ckCache,
+		Workers:             *workers,
+		SnapshotSlots:       *snapshot,
 	})
 	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
 
@@ -58,11 +61,21 @@ func main() {
 	go func() {
 		defer close(done)
 		<-stop
-		fmt.Fprintln(os.Stderr, "btsimd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
+		// Drain before touching the HTTP server: running campaigns
+		// finish (queued ones cancel), every SSE subscriber gets its
+		// terminal frame and its handler returns, and only then does
+		// Shutdown wait out the connections — in the old order it
+		// stalled on the very streams the engine was about to close.
+		fmt.Fprintln(os.Stderr, "btsimd: draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := engine.Drain(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "btsimd: drain budget exhausted; canceling remaining jobs")
+		}
+		cancel()
 		engine.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
 	}()
 
 	fmt.Fprintf(os.Stderr, "btsimd: listening on %s\n", *addr)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -107,6 +108,84 @@ func TestBtsimdEndToEnd(t *testing.T) {
 	stats := getJSON[simd.Stats](t, ts.URL+"/v1/stats")
 	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
 		t.Fatalf("stats %+v, want hits=1 misses=1", stats.Cache)
+	}
+}
+
+// TestBtsimdGracefulShutdown pins the drain sequence main runs on
+// SIGTERM: with a campaign mid-flight and a live SSE subscriber, Drain
+// lets the job finish, the subscriber's stream ends with the terminal
+// done frame rather than being severed, and the server then shuts down
+// without waiting out its timeout on the stream.
+func TestBtsimdGracefulShutdown(t *testing.T) {
+	engine := simd.New(simd.Options{MaxJobs: 1, Workers: 2})
+	ts := httptest.NewServer(engine.Handler())
+	defer ts.Close()
+
+	spec, err := os.ReadFile("../../examples/specs/office-floor.json")
+	if err != nil {
+		t.Fatalf("reading example spec: %v", err)
+	}
+	// Long enough to still be running when the drain starts.
+	body := fmt.Sprintf(`{"spec": %s, "seeds": {"first": 1, "count": 1}, "slots": 300000}`, spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var st simd.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	resp.Body.Close()
+
+	events, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer events.Body.Close()
+	type streamEnd struct {
+		event, data string
+	}
+	stream := make(chan streamEnd, 1)
+	go func() {
+		var lastEvent, lastData string
+		sc := bufio.NewScanner(events.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if after, ok := strings.CutPrefix(line, "event: "); ok {
+				lastEvent = after
+			}
+			if after, ok := strings.CutPrefix(line, "data: "); ok {
+				lastData = after
+			}
+		}
+		stream <- streamEnd{lastEvent, lastData}
+	}()
+
+	// The drain sequence main runs on SIGTERM.
+	dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := engine.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	engine.Close()
+
+	select {
+	case end := <-stream:
+		if end.event != "state" || !strings.Contains(end.data, `"done"`) {
+			t.Fatalf("stream ended on %s frame %s, want state/done", end.event, end.data)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream did not close after drain")
+	}
+	// Intake is closed: a late submission gets 503, not a new job.
+	late, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST after drain: %v", err)
+	}
+	late.Body.Close()
+	if late.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: HTTP %d, want 503", late.StatusCode)
 	}
 }
 

@@ -350,16 +350,20 @@ func (d *Device) scheduleSlaveListen(from sim.Time) {
 	}
 	switch l.mode {
 	case ModeHold:
+		d.slaveSlotFn = fnTagHoldResync
 		d.tSlaveSlot.AtFn(maxTime(l.holdUntil, from), d.fnSlaveHoldResync)
 		return
 	case ModeSniff:
+		d.slaveSlotFn = fnTagListen
 		d.tSlaveSlot.AtFn(d.nextSniffAnchor(from), d.fnSlaveListenSlot)
 		return
 	case ModePark:
+		d.slaveSlotFn = fnTagListen
 		d.tSlaveSlot.AtFn(d.nextBeaconSlot(from), d.fnSlaveListenSlot)
 		return
 	}
 	t := d.nextCLKSlotAfterLead(from)
+	d.slaveSlotFn = fnTagListen
 	d.tSlaveSlot.AtFn(t-sim.Time(d.leadTicks()), d.fnSlaveListenSlot)
 }
 
@@ -477,6 +481,7 @@ func (d *Device) slaveRx(tx *channel.Transmission, rx *bits.Vec, collided bool) 
 	}
 	// Respond in the slot following the master's packet.
 	respAt := tx.Start + sim.Time(sim.Slots(uint64(p.Header.Type.Slots())))
+	d.slaveRespFn = fnTagACLRespond
 	d.tSlaveResp.AtFn(respAt, d.fnSlaveRespond)
 }
 

@@ -110,6 +110,12 @@ type Device struct {
 	masterRespAt  sim.Time      // response-slot start of the last master TX
 	scoRespLink   *SCOLink      // voice link owing the next return frame
 
+	// Which pre-bound callback the two shared timers currently carry
+	// (functions are not comparable, so a checkpoint records these tags
+	// instead of inspecting the timer).
+	slaveSlotFn timerFn // tSlaveSlot: listen window vs hold resync
+	slaveRespFn timerFn // tSlaveResp: ACL response vs SCO return frame
+
 	// masterParked marks a master whose TX loop long-skipped to the next
 	// deadline because no member had traffic, a due poll, an SCO
 	// reservation or a beacon; new work re-arms the loop early (see
@@ -573,9 +579,19 @@ func (d *Device) Now() sim.Time { return d.k.Now() }
 
 // After schedules fn on the device's kernel after a slot delay. Unlike
 // internal events it is not invalidated by state transitions; upper
-// layers (LMP, HCI, applications) use it for their own timers.
-func (d *Device) After(slots uint64, fn func()) {
-	d.k.Schedule(sim.Slots(slots), fn)
+// layers (LMP, HCI, applications) use it for their own timers. The
+// returned EventID lets those layers capture the pending arm in a
+// checkpoint (see Kernel.EventInfo); callers that never snapshot may
+// ignore it.
+func (d *Device) After(slots uint64, fn func()) sim.EventID {
+	return d.k.Schedule(sim.Slots(slots), fn)
+}
+
+// AfterID is After with the pending event re-armed at an absolute time
+// on an explicit shard — the restore-side counterpart used by upper
+// layers re-arming captured timers through a sim.RearmSet.
+func (d *Device) AfterID(shard int, at sim.Time, fn func()) sim.EventID {
+	return d.k.AtOn(shard, at, fn)
 }
 
 // String identifies the device in logs.

@@ -23,6 +23,20 @@ type Membership struct {
 	afhMap      *hop.ChannelMap
 }
 
+// ClockOffset returns the CLKN→CLK offset the membership captured.
+func (m *Membership) ClockOffset() uint32 { return m.clockOffset }
+
+// AFHMap returns the AFH channel map in force at capture (nil = full
+// 79-channel set).
+func (m *Membership) AFHMap() *hop.ChannelMap { return m.afhMap }
+
+// RestoreMembership rebuilds a suspended membership from checkpointed
+// parts: the restored slave-side link, the captured clock offset and the
+// AFH map (which checkpoints serialize as an LMP bitmask).
+func RestoreMembership(link *Link, clockOffset uint32, afh *hop.ChannelMap) *Membership {
+	return &Membership{Link: link, clockOffset: clockOffset, afhMap: afh}
+}
+
 // CaptureMembership snapshots the device's current piconet attachment
 // without detaching from it. The device must be a connected slave.
 func (d *Device) CaptureMembership() *Membership {

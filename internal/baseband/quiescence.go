@@ -76,6 +76,7 @@ func (d *Device) tryListenSkip(l *Link) bool {
 	d.skipStart = now
 	d.skipK = int(k)
 	d.ch.WatchQuiet(d)
+	d.slaveSlotFn = fnTagListen
 	d.tSlaveSlot.AtFn(wake, d.fnSlaveListenSlot)
 	return true
 }

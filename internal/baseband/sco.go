@@ -181,6 +181,7 @@ func (d *Device) handleSCORx(p *packet.Packet, rxStart sim.Time) {
 	// slots and ACL response slots disjoint, so at most one response is
 	// pending at a time.
 	d.scoRespLink = sco
+	d.slaveRespFn = fnTagSCORespond
 	d.tSlaveResp.AtFn(rxStart+sim.Time(sim.Slots(1)), d.fnScoRespond)
 }
 

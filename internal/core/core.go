@@ -140,17 +140,25 @@ func (w horizonWatcher) QuietHorizonShrunk() {
 // AddDevice creates a device with a derived random clock phase and seed.
 // Config fields left zero take calibrated defaults.
 func (s *Simulation) AddDevice(name string, cfg baseband.Config) *baseband.Device {
-	if _, dup := s.devices[name]; dup {
-		panic(fmt.Sprintf("core: duplicate device %q", name))
-	}
-	if s.trace != nil && s.K.Now() > 0 {
-		panic("core: with tracing enabled, add all devices before running")
-	}
 	if cfg.ClockPhase == 0 {
 		cfg.ClockPhase = uint32(s.rng.Uint64()) & 0x0FFFFFFF
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = s.rng.Uint64()
+	}
+	return s.addDevice(name, cfg)
+}
+
+// addDevice constructs the device without touching the root RNG: restore
+// paths record the fully drawn Config in the checkpoint and must not
+// perturb (or depend on) the stream when rebuilding, even in the
+// astronomically unlikely case a recorded draw was itself zero.
+func (s *Simulation) addDevice(name string, cfg baseband.Config) *baseband.Device {
+	if _, dup := s.devices[name]; dup {
+		panic(fmt.Sprintf("core: duplicate device %q", name))
+	}
+	if s.trace != nil && s.K.Now() > 0 {
+		panic("core: with tracing enabled, add all devices before running")
 	}
 	if s.shardOf != nil {
 		// Deterministic round-robin home shard (overridden by the

@@ -154,6 +154,21 @@ type Manager struct {
 	setupDone     map[*baseband.Link]bool
 	setupSent     map[*baseband.Link]bool
 	slotOffsets   map[*baseband.Link]uint16
+
+	// deferred counts scheduled mode-change/AFH-switch closures that
+	// have not fired yet; a manager with deferred work is mid-transaction
+	// and not checkpointable (see Quiescent).
+	deferred int
+}
+
+// deferAfter schedules fn like Device.After while counting it as an
+// in-progress LMP transaction until it fires.
+func (m *Manager) deferAfter(slots uint64, fn func()) {
+	m.deferred++
+	m.dev.After(slots, func() {
+		m.deferred--
+		fn()
+	})
 }
 
 // Device2 aliases baseband.Device to keep the Manager declaration tidy.
@@ -319,7 +334,7 @@ func (m *Manager) SetAFH(l *baseband.Link, cm *hop.ChannelMap, result func(bool)
 	params := append(mask, byte(instant), byte(instant>>8), byte(instant>>16), byte(instant>>24))
 	m.pendingAccept[l] = func(ok bool) {
 		if ok {
-			m.dev.After(afhInstantDelaySlots, func() { m.dev.SetAFH(cm) })
+			m.deferAfter(afhInstantDelaySlots, func() { m.dev.SetAFH(cm) })
 		}
 		if result != nil {
 			result(ok)
@@ -406,7 +421,7 @@ func (m *Manager) receive(l *baseband.Link, payload []byte) {
 		m.send(l, PDU{Op: OpAccepted, Params: []byte{uint8(OpHoldReq)}})
 		// Defer the mode change so the acceptance is polled out before
 		// the responder's RF goes dark (the spec's hold instant).
-		m.dev.After(modeChangeDeferSlots, func() {
+		m.deferAfter(modeChangeDeferSlots, func() {
 			l.EnterHold(slots)
 			m.notifyMode(l, baseband.ModeHold)
 		})
@@ -417,7 +432,7 @@ func (m *Manager) receive(l *baseband.Link, payload []byte) {
 		}
 		beacon := int(getU16(pdu.Params[0:2]))
 		m.send(l, PDU{Op: OpAccepted, Params: []byte{uint8(OpParkReq)}})
-		m.dev.After(modeChangeDeferSlots, func() {
+		m.deferAfter(modeChangeDeferSlots, func() {
 			l.EnterPark(beacon)
 			m.notifyMode(l, baseband.ModePark)
 		})
@@ -451,7 +466,7 @@ func (m *Manager) receive(l *baseband.Link, payload []byte) {
 		// hop set. Piconet clocks agree, so both ends compute the same
 		// residual delay.
 		wait := (instant - m.dev.Clock.CLK(m.dev.Now())) & btclockMask
-		m.dev.After(uint64(wait/2), func() { m.dev.SetAFH(cm) })
+		m.deferAfter(uint64(wait/2), func() { m.dev.SetAFH(cm) })
 		m.send(l, PDU{Op: OpAccepted, Params: []byte{uint8(OpSetAFH)}})
 	case OpSCOLinkReq:
 		if len(pdu.Params) < 5 {

@@ -16,14 +16,7 @@ import (
 // startClassifier arms the periodic channel-assessment loop on p's
 // master.
 func (w *World) startClassifier(p *PiconetState) {
-	p.Master.ResetAssessment()
-	win := uint64(p.spec.AssessWindowSlots)
-	var tick func()
-	tick = func() {
-		w.classify(p)
-		p.Master.After(win, tick)
-	}
-	p.Master.After(win, tick)
+	w.classifierPump(p).start()
 }
 
 // classify closes one assessment window: channels with enough

@@ -82,6 +82,7 @@ type World struct {
 	ctrl    map[string]*hci.Controller
 	nodes   map[string]*node
 	names   map[baseband.BDAddr]string
+	pumps   []*pump // registered self-rescheduling loops, in start order
 	started bool
 	chBase  channel.Stats // channel counters at the last ResetMetrics
 	resetAt uint64        // slot of the last ResetMetrics

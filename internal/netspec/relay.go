@@ -323,18 +323,7 @@ func (b *BridgeState) activate(mi int) {
 // switches must survive the state-generation bumps they themselves
 // cause.
 func (w *World) startScheduler(b *BridgeState) {
-	half := uint64(b.spec.PresencePeriodSlots) * sim.SlotTicks / 2
-	now := uint64(w.Sim.K.Now())
-	k := uint64(0)
-	if now >= b.t0 {
-		k = (now-b.t0)/half + 1
-	}
-	var step func(k uint64)
-	step = func(k uint64) {
-		b.activate(int(k % 2))
-		w.Sim.K.At(sim.Time(b.t0+(k+1)*half), func() { step(k + 1) })
-	}
-	w.Sim.K.At(sim.Time(b.t0+k*half), func() { step(k) })
+	w.schedPump(b).start()
 }
 
 // startDrain arms the bridge's store-and-forward drain: every two slots
@@ -343,12 +332,7 @@ func (w *World) startScheduler(b *BridgeState) {
 // statistics) live at L2CAP, and frames only drain during the piconet's
 // presence window because only then does the master empty the link.
 func (w *World) startDrain(b *BridgeState) {
-	var tick func()
-	tick = func() {
-		b.drain()
-		b.Dev.After(2, tick)
-	}
-	tick()
+	w.drainPump(b).start()
 }
 
 // drain moves queued frames for the active membership into its link.

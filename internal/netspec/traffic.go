@@ -1,10 +1,7 @@
 package netspec
 
 import (
-	"math"
-
 	"repro/internal/baseband"
-	"repro/internal/packet"
 )
 
 // Voice is one running SCO voice stream (master to slave) with its
@@ -87,21 +84,10 @@ func (w *World) targetLinks(p *PiconetState, t *Traffic) ([]int, []*baseband.Lin
 // startBulk arms a saturating master-to-slave pump on every targeted
 // link: PumpDepth packets queued, refilled every two slots.
 func (w *World) startBulk(p *PiconetState, t *Traffic) {
-	_, links := w.targetLinks(p, t)
-	for _, l := range links {
+	idx, links := w.targetLinks(p, t)
+	for k, l := range links {
 		l.PacketType = t.PacketType
-		link := l
-		master := p.Master
-		depth := t.PumpDepth
-		chunk := make([]byte, t.PacketType.MaxPayload())
-		var pump func()
-		pump = func() {
-			for link.QueueLen() < depth {
-				link.Send(chunk, packet.LLIDL2CAPStart)
-			}
-			master.After(2, pump)
-		}
-		pump()
+		w.bulkPump(p, idx[k], t.PumpDepth, t.PacketType.MaxPayload()).start()
 	}
 }
 
@@ -115,23 +101,30 @@ func (w *World) startVoice(p *PiconetState, t *Traffic) {
 		v := &Voice{Piconet: p.Index, Slave: j + 1}
 		v.MasterSCO = p.Master.AddSCO(l, t.PacketType, t.TscoSlots, t.DscoEven+k)
 		v.SlaveSCO = p.Slaves[j].AcceptSCO(t.PacketType, t.TscoSlots, t.DscoEven+k)
-		size := t.PacketType.MaxPayload()
-		v.MasterSCO.Source = func() []byte {
-			f := make([]byte, size)
-			for i := range f {
-				f[i] = voicePattern
-			}
-			return f
-		}
-		v.SlaveSCO.Sink = func(f []byte) {
-			for _, by := range f {
-				if by != voicePattern {
-					return
-				}
-			}
-			v.perfect++
-		}
+		wireVoice(v)
 		w.Voices = append(w.Voices, v)
+	}
+}
+
+// wireVoice points the stream's reservation ends at the patterned
+// source and the counting sink (shared by Start and checkpoint
+// restore, which rebuilds the closures on restored SCO links).
+func wireVoice(v *Voice) {
+	size := v.MasterSCO.Type.MaxPayload()
+	v.MasterSCO.Source = func() []byte {
+		f := make([]byte, size)
+		for i := range f {
+			f[i] = voicePattern
+		}
+		return f
+	}
+	v.SlaveSCO.Sink = func(f []byte) {
+		for _, by := range f {
+			if by != voicePattern {
+				return
+			}
+		}
+		v.perfect++
 	}
 }
 
@@ -140,26 +133,10 @@ func (w *World) startVoice(p *PiconetState, t *Traffic) {
 // (derived here, in deterministic stanza-then-link order), so the
 // world stays bit-reproducible.
 func (w *World) startPoisson(p *PiconetState, t *Traffic) {
-	_, links := w.targetLinks(p, t)
-	for _, l := range links {
+	idx, links := w.targetLinks(p, t)
+	for k, l := range links {
 		l.PacketType = t.PacketType
-		link := l
-		master := p.Master
-		rng := w.Sim.SplitRand()
-		mean := t.MeanGapSlots
-		burst := t.BurstBytes
-		var arm func()
-		arm = func() {
-			gap := uint64(math.Ceil(-mean * math.Log(1-rng.Float64())))
-			if gap < 1 {
-				gap = 1
-			}
-			master.After(gap, func() {
-				link.Send(make([]byte, burst), packet.LLIDL2CAPStart)
-				arm()
-			})
-		}
-		arm()
+		w.poissonPump(p, idx[k], t.MeanGapSlots, t.BurstBytes, w.Sim.SplitRand()).start()
 	}
 }
 
@@ -197,23 +174,7 @@ func (w *World) startFlow(spec FlowSpec, sduBytes, pumpDepth int) {
 	if len(w.Flows) >= 255 {
 		panic("netspec: at most 255 flows")
 	}
-	f := &Flow{FlowSpec: spec}
-	idx := uint8(len(w.Flows))
-	w.Flows = append(w.Flows, f)
-
-	hop, ok := src.next[f.To]
-	if !ok {
-		panic("netspec: no route from " + f.From + " to " + f.To)
-	}
-	ch := src.chans[hop]
-	payload := make([]byte, sduBytes)
-	var tick func()
-	tick = func() {
-		if ch.Link().QueueLen() < pumpDepth {
-			ch.Send(encodeFrame(idx, f.To, w.Sim.Now(), payload))
-			f.SentBytes += len(payload)
-		}
-		src.dev.After(2, tick)
-	}
-	tick()
+	idx := len(w.Flows)
+	w.Flows = append(w.Flows, &Flow{FlowSpec: spec})
+	w.flowPump(idx, sduBytes, pumpDepth).start()
 }

@@ -158,6 +158,50 @@ func (m *Meter) Reset() {
 	}
 }
 
+// MeterState is the checkpoint image of a Meter: chain state plus any
+// virtual window pattern still ahead of the clock. Window accumulators
+// (on-time, activations, window start) are deliberately absent — every
+// forked arm re-opens its measurement window with Reset immediately
+// after restore, exactly as the straight-through run does, so only the
+// state that shapes *future* accounting needs to survive.
+type MeterState struct {
+	On        bool
+	PatStart  sim.Time
+	PatPeriod sim.Duration
+	PatWidth  sim.Duration
+	PatCount  int
+}
+
+// CheckpointState settles the meter to the current instant and returns
+// its checkpoint image.
+func (m *Meter) CheckpointState() MeterState {
+	m.settle()
+	return MeterState{
+		On:        m.on,
+		PatStart:  m.patStart,
+		PatPeriod: m.patPeriod,
+		PatWidth:  m.patWidth,
+		PatCount:  m.patCount,
+	}
+}
+
+// RestoreState imposes a checkpointed image on a meter whose kernel
+// clock stands at the snapshot instant. An open interval restarts at
+// now — the same normalization Reset applies on the straight-through
+// arm, so post-restore accounting matches it exactly.
+func (m *Meter) RestoreState(st MeterState) {
+	now := m.k.Now()
+	m.on = st.On
+	m.since = now
+	m.total = 0
+	m.started = now
+	m.starts = 0
+	if m.on {
+		m.starts = 1
+	}
+	m.patStart, m.patPeriod, m.patWidth, m.patCount = st.PatStart, st.PatPeriod, st.PatWidth, st.PatCount
+}
+
 // Profile is a simple RF front-end power model: static currents while a
 // chain is enabled. Defaults are representative of the 0.18 µm CMOS
 // radios the paper cites (tens of mW per active chain).

@@ -225,6 +225,77 @@ func (s Sweep[P, R]) Run(cfg Config) [][]R {
 	return results
 }
 
+// ForkSweep is a Sweep whose replicas fork from one per-point
+// checkpoint instead of each settling its own world. Prepare runs once
+// per point, serially and in point order (it typically builds a world,
+// runs the settle horizon and snapshots it); the replicas then restore
+// from the captured bytes in parallel, each under its own fork seed.
+// Replica 0 forks with seed 0 — byte-identical to the straight
+// continuation of the settled world — and every later replica perturbs
+// the arm's RNG streams with its sweep-derived seed.
+type ForkSweep[P, R any] struct {
+	// Name labels the sweep in progress reports.
+	Name string
+	// Points are the parameter axis.
+	Points []P
+	// Replicas is the number of forks per point (>= 1).
+	Replicas int
+	// Seed derives the settle seed (replica 0) and the fork seeds
+	// (replicas >= 1) like Sweep.Seed. Nil uses the same default.
+	Seed func(point, replica int) uint64
+	// Prepare settles one world for p under the point's base seed and
+	// returns its serialized checkpoint.
+	Prepare func(seed uint64, p P) ([]byte, error)
+	// Trial restores one replica from the checkpoint bytes under
+	// forkSeed (0 = resume the captured streams exactly) and measures.
+	Trial func(ck []byte, forkSeed uint64, p P) R
+}
+
+// Run executes the fork sweep under cfg: every point's Prepare first,
+// then the replica fan-out with the same (point, replica) result
+// layout as Sweep.Run. A Prepare error aborts before any trial runs.
+func (s ForkSweep[P, R]) Run(cfg Config) ([][]R, error) {
+	if s.Prepare == nil || s.Trial == nil {
+		panic("runner: ForkSweep needs Prepare and Trial")
+	}
+	seedOf := s.Seed
+	if seedOf == nil {
+		seedOf = func(point, replica int) uint64 {
+			return uint64(replica)*1_000_003 + uint64(point) + 1
+		}
+	}
+	cks := make([][]byte, len(s.Points))
+	for i, p := range s.Points {
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			return nil, cfg.Context.Err()
+		}
+		ck, err := s.Prepare(seedOf(i, 0), p)
+		if err != nil {
+			return nil, err
+		}
+		cks[i] = ck
+	}
+	idx := make([]int, len(s.Points))
+	for i := range idx {
+		idx[i] = i
+	}
+	inner := Sweep[int, R]{
+		Name:     s.Name,
+		Points:   idx,
+		Replicas: s.Replicas,
+		Seed: func(point, replica int) uint64 {
+			if replica == 0 {
+				return 0 // replica 0 resumes the settled streams exactly
+			}
+			return seedOf(point, replica)
+		},
+		Trial: func(seed uint64, pi int) R {
+			return s.Trial(cks[pi], seed, s.Points[pi])
+		},
+	}
+	return inner.Run(cfg), nil
+}
+
 // ReducePoints folds the replica results of each point — in replica
 // order, so reductions built on order-sensitive accumulators stay
 // deterministic — into one output row per point.

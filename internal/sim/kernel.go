@@ -343,6 +343,37 @@ func (k *Kernel) At(t Time, fn Event) EventID {
 	return k.Schedule(Duration(t-k.now), fn)
 }
 
+// AtOn runs fn at absolute time t on an explicit shard (see ScheduleOn).
+// Checkpoint restore uses it to re-arm captured events on their
+// original shard so the restored world's shard placement — and with it
+// the exact window/refresh schedule — matches the straight-through run.
+func (k *Kernel) AtOn(shard int, t Time, fn Event) EventID {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: AtOn(%v) is in the past (now %v)", t, k.now))
+	}
+	return k.ScheduleOn(shard, Duration(t-k.now), fn)
+}
+
+// EventInfo reports a pending event's timestamp, global sequence number
+// and owning shard. ok is false for fired, cancelled or stale IDs —
+// exactly the IDs Cancel would reject. Snapshot code uses it to capture
+// where every pending timer sits in the global (at, seq) order.
+func (k *Kernel) EventInfo(id EventID) (at Time, seq uint64, shard int, ok bool) {
+	sh, slot, gen := decodeID(id)
+	if sh >= len(k.shards) {
+		return 0, 0, 0, false
+	}
+	sq := k.shards[sh]
+	if slot < 0 || int(slot) >= len(sq.nodes) {
+		return 0, 0, 0, false
+	}
+	n := &sq.nodes[slot]
+	if n.state != evPending || n.gen != gen {
+		return 0, 0, 0, false
+	}
+	return n.at, n.seq, sh, true
+}
+
 // lessEvent orders events by (at, seq): earlier time first, then
 // schedule order — the same-tick total order that stands in for SystemC
 // delta cycles. seq is issued by one kernel-global counter, so the order

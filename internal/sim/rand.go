@@ -56,3 +56,28 @@ func (r *Rand) Bool(p float64) bool {
 func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64() | 1)
 }
+
+// State returns the generator's exact stream position so a checkpoint
+// can serialize it; SetState(State()) resumes the stream bit-for-bit.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the stream position with a value previously
+// returned by State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
+// ForkState derives a restored stream position from a checkpointed one.
+// Seed zero returns state unchanged (exact resume); any other seed
+// perturbs the position deterministically, so two forks of one
+// checkpoint with different seeds diverge while each (state, seed)
+// pair stays reproducible. The zero state is remapped exactly as in
+// NewRand so a fork can never produce a stuck generator.
+func ForkState(state, seed uint64) uint64 {
+	if seed == 0 {
+		return state
+	}
+	x := state ^ (seed * 0x9E3779B97F4A7C15)
+	if x == 0 {
+		x = seed | 1
+	}
+	return x
+}

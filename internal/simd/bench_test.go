@@ -1,6 +1,7 @@
 package simd
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/netspec"
@@ -60,6 +61,39 @@ func BenchmarkSimdJobThroughput(b *testing.B) {
 		// Every iteration the primed campaign: guaranteed cache hit.
 		bench(b, func(int) Request { return benchReq(uint64(10_000 - 1)) })
 	})
+}
+
+// BenchmarkCheckpointFork measures replicas per second on a
+// settle-heavy campaign two ways: straight, where every replica
+// rebuilds its world and re-pays the full settle horizon, and forked,
+// where the settle runs once per campaign and every replica restores
+// from the serialized checkpoint. The settle dwarfs the measured
+// window by design — that is the workload class the checkpoint-fork
+// path exists for — so the replicas/s gap is the feature's headline
+// number. Serial workers keep the comparison about simulated work, not
+// pool parallelism.
+func BenchmarkCheckpointFork(b *testing.B) {
+	spec := forkSpec()
+	const replicas = 8
+	campaign := func(fork bool) Request {
+		return Request{
+			Spec:        &spec,
+			Seeds:       SeedRange{First: 1, Count: replicas},
+			Slots:       2000,
+			SettleSlots: 20_000,
+			Fork:        fork,
+		}
+	}
+	bench := func(b *testing.B, fork bool) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(context.Background(), campaign(fork), runner.Config{Workers: runner.Serial}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*replicas)/b.Elapsed().Seconds(), "replicas/s")
+	}
+	b.Run("straight", func(b *testing.B) { bench(b, false) })
+	b.Run("fork", func(b *testing.B) { bench(b, true) })
 }
 
 // jobDone returns a channel that closes when the job goes terminal,

@@ -2,53 +2,56 @@ package simd
 
 import "container/list"
 
-// cache is a plain LRU over completed campaign results, keyed by
-// Request.CacheKey. Results are immutable once stored (the engine never
-// mutates a *Result after completion), so hits can hand out the shared
-// pointer without copying. Not goroutine-safe; the engine serialises
-// access under its own mutex.
-type cache struct {
+// lru is a plain LRU keyed by string, shared by the result cache
+// (values are *Result) and the checkpoint cache (values are the
+// serialized settle checkpoints of forked campaigns). Values are
+// immutable once stored — the engine never mutates a *Result after
+// completion and checkpoint bytes are decoded per replica — so hits
+// can hand out the shared value without copying. Not goroutine-safe;
+// callers serialise access under their own mutex.
+type lru[V any] struct {
 	cap     int
 	order   *list.List               // front = most recent
-	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+	entries map[string]*list.Element // key -> element whose Value is *lruEntry[V]
 }
 
-type cacheEntry struct {
+type lruEntry[V any] struct {
 	key string
-	res *Result
+	val V
 }
 
-func newCache(capacity int) *cache {
-	return &cache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached result and marks it most recently used.
-func (c *cache) get(key string) (*Result, bool) {
+// get returns the cached value and marks it most recently used.
+func (c *lru[V]) get(key string) (V, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// put stores the result, evicting the least recently used entry when
+// put stores the value, evicting the least recently used entry when
 // the cache is full. A zero or negative capacity disables caching.
-func (c *cache) put(key string, res *Result) {
+func (c *lru[V]) put(key string, val V) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*lruEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
 	for c.order.Len() >= c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
 }
 
-func (c *cache) len() int { return c.order.Len() }
+func (c *lru[V]) len() int { return c.order.Len() }

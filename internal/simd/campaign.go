@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/netspec"
@@ -40,6 +41,20 @@ type Request struct {
 	// window opens (default 0); the paper's coexistence sweeps use a
 	// short settle so ARQ pipelines are primed when measurement starts.
 	SettleSlots uint64 `json:"settle_slots,omitempty"`
+	// Fork switches the campaign to the checkpoint-fork discipline:
+	// each point's world is built and settled once under Seeds.First,
+	// snapshotted at the next quiescent slot edge, and every replica
+	// restores from those bytes instead of rebuilding and re-settling
+	// its own world. Replica 0 forks with seed 0 — byte-identical to
+	// the straight continuation of the settled world from the capture
+	// instant — while replica r >= 1 perturbs the restored RNG streams
+	// with fork seed Seeds.First+r.
+	// Forked and unforked campaigns measure different (both valid)
+	// replica ensembles — perturbed streams over one warm-up versus
+	// independent warm-ups — so Fork participates in the cache key.
+	// Settle-heavy campaigns pay the settle once instead of once per
+	// replica; see BenchmarkCheckpointFork for the rate gap.
+	Fork bool `json:"fork,omitempty"`
 }
 
 // normalized returns the request with the single-point form folded into
@@ -68,6 +83,13 @@ func (r Request) normalized() (Request, error) {
 		if err := r.Points[i].Validate(); err != nil {
 			return r, fmt.Errorf("simd: points[%d]: %w", i, err)
 		}
+		if r.Fork {
+			for j := range r.Points[i].Piconets {
+				if r.Points[i].Piconets[j].HCI {
+					return r, fmt.Errorf("simd: points[%d]: piconets[%d]: HCI worlds cannot be checkpoint-forked (host-side state lives outside the world)", i, j)
+				}
+			}
+		}
 	}
 	return r, nil
 }
@@ -83,12 +105,17 @@ func (r Request) CacheKey() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	var hdr [40]byte
+	var hdr [48]byte
 	binary.LittleEndian.PutUint64(hdr[0:], n.Seeds.First)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(n.Seeds.Count))
 	binary.LittleEndian.PutUint64(hdr[16:], n.Slots)
 	binary.LittleEndian.PutUint64(hdr[24:], n.SettleSlots)
 	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(n.Points)))
+	if n.Fork {
+		// Forked and unforked campaigns over the same points measure
+		// different replica ensembles; they must never share a result.
+		hdr[40] = 1
+	}
 	h.Write(hdr[:])
 	for i := range n.Points {
 		c, err := n.Points[i].Canonical()
@@ -154,13 +181,73 @@ func RunReplica(ctx context.Context, spec netspec.Spec, seed, settleSlots, slots
 	return w.Metrics(), nil
 }
 
+// SettleCheckpoint builds spec under seed, starts its traffic, runs
+// the settle horizon and captures the world at the next quiescent slot
+// edge, returning the serialized checkpoint. It is the once-per-point
+// Prepare half of a forked campaign; the checkpoint embeds the build
+// seed, so ForkReplica needs nothing but the bytes.
+func SettleCheckpoint(spec netspec.Spec, seed, settleSlots uint64) ([]byte, error) {
+	s := core.NewSimulation(core.Options{Seed: seed})
+	w, err := netspec.Build(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	w.Start()
+	if settleSlots > 0 {
+		s.RunSlots(settleSlots)
+	}
+	ck, err := w.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return ck.Encode()
+}
+
+// ForkReplica restores one replica from serialized checkpoint bytes
+// under forkSeed (0 resumes the captured streams exactly), opens the
+// metrics window at the fork instant and runs the measured horizon.
+// Every caller decodes its own copy of the bytes, so concurrent forks
+// share nothing. Cancellation mirrors RunReplica: a non-nil ctx stops
+// between slot chunks and the partial window must be discarded.
+func ForkReplica(ctx context.Context, ckBytes []byte, forkSeed, slots uint64) (netspec.Metrics, error) {
+	ck, err := netspec.DecodeCheckpoint(ckBytes)
+	if err != nil {
+		return netspec.Metrics{}, err
+	}
+	// The target must rebuild under the capture seed: placement layouts
+	// draw from a seed-derived stream, not from checkpointed state.
+	s := core.NewSimulation(core.Options{Seed: ck.Core.Seed})
+	w, err := netspec.RestoreWorld(s, ck, core.RestoreOptions{ForkSeed: forkSeed})
+	if err != nil {
+		return netspec.Metrics{}, err
+	}
+	w.ResetMetrics()
+	for done := uint64(0); done < slots; {
+		if ctx != nil && ctx.Err() != nil {
+			return w.Metrics(), ctx.Err()
+		}
+		n := min(replicaChunkSlots, slots-done)
+		s.RunSlots(n)
+		done += n
+	}
+	return w.Metrics(), nil
+}
+
 // Run executes the campaign and returns its result. The replicas fan
-// out through runner.Sweep under cfg (workers, progress, context), and
+// out through runner.Sweep (or runner.ForkSweep when the request asks
+// for checkpoint forking) under cfg (workers, progress, context), and
 // the [point][replica] result layout is schedule-independent, so any
 // worker count — and the serial reference the determinism test uses —
 // produces byte-identical Result JSON. A canceled context returns
 // ctx.Err() and no result.
 func Run(ctx context.Context, req Request, cfg runner.Config) (*Result, error) {
+	return run(ctx, req, cfg, nil)
+}
+
+// run is Run with an optional shared checkpoint store: the engine
+// passes its LRU so repeated forked campaigns on the same settled
+// world skip the settle; bare Run settles every time.
+func run(ctx context.Context, req Request, cfg runner.Config, cks *ckStore) (*Result, error) {
 	n, err := req.normalized()
 	if err != nil {
 		return nil, err
@@ -170,19 +257,45 @@ func Run(ctx context.Context, req Request, cfg runner.Config) (*Result, error) {
 		m   netspec.Metrics
 		err error
 	}
-	sw := runner.Sweep[netspec.Spec, rep]{
-		Name:     "campaign",
-		Points:   n.Points,
-		Replicas: n.Seeds.Count,
-		Seed: func(point, replica int) uint64 {
-			return n.Seeds.First + uint64(replica)
-		},
-		Trial: func(seed uint64, spec netspec.Spec) rep {
-			m, err := RunReplica(ctx, spec, seed, n.SettleSlots, n.Slots)
-			return rep{m, err}
-		},
+	var rows [][]rep
+	if n.Fork {
+		fw := runner.ForkSweep[netspec.Spec, rep]{
+			Name:     "campaign",
+			Points:   n.Points,
+			Replicas: n.Seeds.Count,
+			Seed: func(point, replica int) uint64 {
+				return n.Seeds.First + uint64(replica)
+			},
+			Prepare: func(seed uint64, spec netspec.Spec) ([]byte, error) {
+				return cks.settle(spec, seed, n.SettleSlots)
+			},
+			Trial: func(ck []byte, forkSeed uint64, _ netspec.Spec) rep {
+				m, err := ForkReplica(ctx, ck, forkSeed, n.Slots)
+				return rep{m, err}
+			},
+		}
+		rows, err = fw.Run(cfg)
+		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("simd: settling checkpoint: %w", err)
+		}
+	} else {
+		sw := runner.Sweep[netspec.Spec, rep]{
+			Name:     "campaign",
+			Points:   n.Points,
+			Replicas: n.Seeds.Count,
+			Seed: func(point, replica int) uint64 {
+				return n.Seeds.First + uint64(replica)
+			},
+			Trial: func(seed uint64, spec netspec.Spec) rep {
+				m, err := RunReplica(ctx, spec, seed, n.SettleSlots, n.Slots)
+				return rep{m, err}
+			},
+		}
+		rows = sw.Run(cfg)
 	}
-	rows := sw.Run(cfg)
 	if ctx != nil && ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
@@ -202,4 +315,81 @@ func Run(ctx context.Context, req Request, cfg runner.Config) (*Result, error) {
 		res.Points[i] = pr
 	}
 	return res, nil
+}
+
+// ckStore is the checkpoint LRU the engine keeps next to the result
+// cache, plus its lock and hit accounting. The result cache keys whole
+// campaigns; this one keys settled worlds — (canonical spec, build
+// seed, settle horizon, shard count) — so a forked what-if sweep that
+// varies only the measured horizon or the replica count still reuses
+// the expensive settle. A nil store settles every time.
+type ckStore struct {
+	mu     sync.Mutex
+	lru    *lru[[]byte]
+	hits   uint64
+	misses uint64
+}
+
+func newCkStore(capacity int) *ckStore {
+	return &ckStore{lru: newLRU[[]byte](capacity)}
+}
+
+// settle returns the serialized settle checkpoint for (spec, seed,
+// settleSlots), from the cache when possible. The lock is not held
+// across the settle itself; two campaigns racing on the same key both
+// simulate and store byte-identical results, which is wasteful but
+// correct.
+func (c *ckStore) settle(spec netspec.Spec, seed, settleSlots uint64) ([]byte, error) {
+	if c == nil {
+		return SettleCheckpoint(spec, seed, settleSlots)
+	}
+	key, err := ckKey(spec, seed, settleSlots)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	b, ok := c.lru.get(key)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	b, err = SettleCheckpoint(spec, seed, settleSlots)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.lru.put(key, b)
+	c.mu.Unlock()
+	return b, nil
+}
+
+// stats snapshots the store for GET /v1/stats.
+func (c *ckStore) stats(capacity int) CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.len(), Capacity: capacity}
+}
+
+// ckKey is the checkpoint cache key: SHA-256 over the canonical spec
+// plus the build seed, the settle horizon and the process-wide shard
+// count (a checkpoint only restores into a world with the same shard
+// layout).
+func ckKey(spec netspec.Spec, seed, settleSlots uint64) (string, error) {
+	c, err := spec.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], seed)
+	binary.LittleEndian.PutUint64(hdr[8:], settleSlots)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(core.DefaultShards()))
+	h.Write(hdr[:])
+	h.Write(c)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netspec"
@@ -39,6 +40,11 @@ type Options struct {
 	// CacheSize is the result-cache capacity in campaigns (default 64;
 	// negative disables caching).
 	CacheSize int
+	// CheckpointCacheSize is the checkpoint-cache capacity in settled
+	// worlds for forked campaigns (default 16; negative disables).
+	// Checkpoints are bigger than results — a serialized world, not a
+	// metrics table — so the default is deliberately smaller.
+	CheckpointCacheSize int
 	// Workers is each campaign's runner pool size (0 = the runner
 	// package default, runner.Serial = in-line).
 	Workers int
@@ -68,10 +74,14 @@ type Engine struct {
 	jobs   map[string]*Job
 	order  []string // submission order, for stable listings
 	nextID int
-	cache  *cache
+	cache  *lru[*Result]
 	hits   uint64
 	misses uint64
 	closed bool
+
+	// cks is the checkpoint store for forked campaigns; it carries its
+	// own lock because settles run on the job goroutines, not under mu.
+	cks *ckStore
 }
 
 // New starts an engine with MaxJobs runner goroutines.
@@ -85,6 +95,9 @@ func New(opt Options) *Engine {
 	if opt.CacheSize == 0 {
 		opt.CacheSize = 64
 	}
+	if opt.CheckpointCacheSize == 0 {
+		opt.CheckpointCacheSize = 16
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opt:     opt,
@@ -92,13 +105,61 @@ func New(opt Options) *Engine {
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
-		cache:   newCache(opt.CacheSize),
+		cache:   newLRU[*Result](opt.CacheSize),
+		cks:     newCkStore(opt.CheckpointCacheSize),
 	}
 	e.wg.Add(opt.MaxJobs)
 	for i := 0; i < opt.MaxJobs; i++ {
 		go e.runLoop()
 	}
 	return e
+}
+
+// Drain retires the engine gracefully: intake closes immediately
+// (Submit returns ErrClosed), jobs still waiting in the queue are
+// canceled without ever taking a slot, and running campaigns keep
+// their slots until they finish on their own. It returns nil once
+// every job is terminal — at which point every SSE subscriber has
+// received its terminal frame — or ctx.Err() if the deadline passes
+// first; either way the caller follows with Close, which cancels any
+// stragglers.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	e.closed = true
+	var queued []*Job
+	for _, j := range e.jobs {
+		if j.State() == StateQueued {
+			queued = append(queued, j)
+		}
+	}
+	e.mu.Unlock()
+	for _, j := range queued {
+		j.Cancel()
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if e.idle() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// idle reports whether every submitted job is terminal.
+func (e *Engine) idle() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, j := range e.jobs {
+		if !j.State().terminal() {
+			return false
+		}
+	}
+	return true
 }
 
 // Close cancels every queued and running job and waits for the runner
@@ -192,6 +253,9 @@ type Stats struct {
 	Jobs map[State]int `json:"jobs"`
 	// Cache is the result cache's accounting.
 	Cache CacheStats `json:"cache"`
+	// Checkpoints is the checkpoint cache's accounting (forked
+	// campaigns only; an unforked engine reports all zeros).
+	Checkpoints CacheStats `json:"checkpoints"`
 }
 
 // Stats snapshots the engine.
@@ -205,6 +269,7 @@ func (e *Engine) Stats() Stats {
 			Hits: e.hits, Misses: e.misses,
 			Entries: e.cache.len(), Capacity: e.opt.CacheSize,
 		},
+		Checkpoints: e.cks.stats(e.opt.CheckpointCacheSize),
 	}
 	for _, id := range e.order {
 		s.Jobs[e.jobs[id].State()]++
@@ -242,12 +307,12 @@ func (e *Engine) runJob(job *Job) {
 				err = fmt.Errorf("campaign panicked: %v", r)
 			}
 		}()
-		return Run(ctx, job.Req, runner.Config{
+		return run(ctx, job.Req, runner.Config{
 			Workers: e.opt.Workers,
 			Progress: func(_ string, done, total int) {
 				job.setProgress(done, total)
 			},
-		})
+		}, e.cks)
 	}()
 	switch {
 	case err != nil && ctx.Err() != nil:

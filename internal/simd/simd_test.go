@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netspec"
 	"repro/internal/runner"
 )
@@ -312,6 +314,246 @@ func TestJobEvents(t *testing.T) {
 	}
 	if st := catchUp2[0].Data.(StateEvent); st.State != StateDone {
 		t.Fatalf("terminal catch-up %+v, want done", st)
+	}
+}
+
+// forkSpec keeps stochastic draws flowing after the fork instant — a
+// poisson pump draws a gap per burst — so different fork seeds
+// measurably diverge. A pure bulk world at BER 0 exhausts its
+// randomness at build time and every fork would be identical.
+func forkSpec() netspec.Spec {
+	return netspec.Spec{
+		Piconets: []netspec.Piconet{{Slaves: 1}},
+		Traffic:  []netspec.Traffic{{Kind: netspec.TrafficPoisson, Piconet: netspec.AllPiconets, MeanGapSlots: 30, BurstBytes: 96}},
+	}
+}
+
+// TestRunForkCampaign pins the forked campaign discipline: replica 0
+// is the straight continuation of the settled world, later replicas
+// diverge under their fork seeds, and the whole result is reproducible
+// byte for byte.
+func TestRunForkCampaign(t *testing.T) {
+	spec := forkSpec()
+	req := Request{
+		Spec:        &spec,
+		Seeds:       SeedRange{First: 5, Count: 3},
+		Slots:       3000,
+		SettleSlots: 512,
+		Fork:        true,
+	}
+	res, err := Run(context.Background(), req, runner.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || len(res.Points[0].Replicas) != 3 {
+		t.Fatalf("result shape %+v, want 1 point x 3 replicas", res)
+	}
+
+	// Replica 0 must equal the straight arm: settle, snapshot (the
+	// world continues past the capture), fresh window, same horizon.
+	s := core.NewSimulation(core.Options{Seed: req.Seeds.First})
+	w, err := netspec.Build(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.RunSlots(req.SettleSlots)
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	w.ResetMetrics()
+	s.RunSlots(req.Slots)
+	straight, _ := json.Marshal(w.Metrics())
+	rep0, _ := json.Marshal(res.Points[0].Replicas[0])
+	if string(rep0) != string(straight) {
+		t.Fatalf("fork replica 0 diverged from the straight continuation:\n  fork:     %s\n  straight: %s", rep0, straight)
+	}
+
+	// Later replicas perturb the streams and must diverge.
+	rep1, _ := json.Marshal(res.Points[0].Replicas[1])
+	rep2, _ := json.Marshal(res.Points[0].Replicas[2])
+	if string(rep0) == string(rep1) || string(rep1) == string(rep2) {
+		t.Fatalf("fork replicas did not diverge:\n  0: %s\n  1: %s\n  2: %s", rep0, rep1, rep2)
+	}
+
+	// The campaign is deterministic: a rerun is byte-identical.
+	res2, err := Run(context.Background(), req, runner.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(res2)
+	if string(a) != string(b) {
+		t.Fatal("forked campaign rerun diverged")
+	}
+}
+
+// TestForkCacheKeyDiffers pins Fork into the request identity: the
+// same campaign forked and unforked measures different replica
+// ensembles and must never share a cached result.
+func TestForkCacheKeyDiffers(t *testing.T) {
+	spec := forkSpec()
+	req := Request{Spec: &spec, Seeds: SeedRange{First: 5, Count: 2}, Slots: 1000}
+	plain, err := req.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Fork = true
+	forked, err := req.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == forked {
+		t.Fatal("forked and unforked requests share a cache key")
+	}
+}
+
+func TestForkRejectsHCIWorlds(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	defer e.Close()
+	spec := netspec.Spec{Piconets: []netspec.Piconet{{Slaves: 1, HCI: true}}}
+	if _, err := e.Submit(Request{Spec: &spec, Slots: 100, Fork: true}); err == nil {
+		t.Fatal("forked HCI campaign accepted")
+	}
+}
+
+// TestEngineCheckpointCacheReuse pins the checkpoint LRU: two forked
+// campaigns over the same settled world (different measured horizons,
+// so the result cache misses) share one settle.
+func TestEngineCheckpointCacheReuse(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	defer e.Close()
+	spec := forkSpec()
+	for i, slots := range []uint64{1500, 2500} {
+		job, err := e.Submit(Request{
+			Spec:        &spec,
+			Seeds:       SeedRange{First: 7, Count: 2},
+			Slots:       slots,
+			SettleSlots: 256,
+			Fork:        true,
+		})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		waitState(t, job, StateDone)
+	}
+	if s := e.Stats(); s.Checkpoints.Hits != 1 || s.Checkpoints.Misses != 1 || s.Checkpoints.Entries != 1 {
+		t.Fatalf("checkpoint cache counters %+v, want hits=1 misses=1 entries=1", s.Checkpoints)
+	}
+}
+
+// TestEngineCacheConcurrentSubmitHit hammers the result cache from
+// many goroutines with a working set larger than its capacity, so
+// hits, misses and evictions interleave with running jobs. The
+// assertions are invariants — every job terminal-done, entry count
+// bounded by capacity, counters consistent — and the race detector
+// checks the rest.
+func TestEngineCacheConcurrentSubmitHit(t *testing.T) {
+	e := New(Options{MaxJobs: 4, Workers: runner.Serial, CacheSize: 2, QueueDepth: 256})
+	defer e.Close()
+
+	const submitters, perSubmitter = 8, 12
+	var wg sync.WaitGroup
+	jobs := make(chan *Job, submitters*perSubmitter)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				// Three distinct campaigns across a capacity-2 cache:
+				// repeats hit or re-simulate depending on eviction order.
+				job, err := e.Submit(tinyReq(uint64((g + i) % 3)))
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				jobs <- job
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(jobs)
+
+	results := make(map[string]string) // cache key -> result JSON
+	for job := range jobs {
+		waitState(t, job, StateDone)
+		res, _ := json.Marshal(job.Status().Result)
+		if prev, ok := results[job.Key]; ok && prev != string(res) {
+			t.Fatalf("same request produced different results:\n  %s\n  %s", prev, res)
+		}
+		results[job.Key] = string(res)
+	}
+	s := e.Stats()
+	if s.Cache.Entries > 2 {
+		t.Fatalf("cache holds %d entries, capacity 2", s.Cache.Entries)
+	}
+	if got, want := s.Cache.Hits+s.Cache.Misses, uint64(submitters*perSubmitter); got != want {
+		t.Fatalf("hits+misses = %d, want %d submissions", got, want)
+	}
+	if s.Jobs[StateDone] != submitters*perSubmitter {
+		t.Fatalf("done jobs %d, want %d", s.Jobs[StateDone], submitters*perSubmitter)
+	}
+}
+
+// TestEngineDrain pins the graceful-shutdown contract: intake closes,
+// queued jobs cancel without taking a slot, running jobs finish.
+func TestEngineDrain(t *testing.T) {
+	e := New(Options{MaxJobs: 1, QueueDepth: 4, Workers: runner.Serial})
+	defer e.Close()
+
+	// Long enough to still be running when Drain starts, short enough
+	// to finish well inside the drain budget.
+	spec := tinySpec()
+	running, err := e.Submit(Request{
+		Spec:  &spec,
+		Seeds: SeedRange{First: 80, Count: 1},
+		Slots: 300_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := e.Submit(tinyReq(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if running.State() != StateDone {
+		t.Fatalf("running job ended %s, want done", running.State())
+	}
+	// The queued job may have reached the free slot before Drain marked
+	// it; either way it must be terminal, and canceled if it never ran.
+	if st := queued.State(); !st.terminal() {
+		t.Fatalf("queued job left non-terminal: %s", st)
+	}
+	if _, err := e.Submit(tinyReq(82)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Drain: %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineDrainTimeout pins the deadline path: a job longer than the
+// budget leaves Drain with the context error, and Close then cancels.
+func TestEngineDrainTimeout(t *testing.T) {
+	e := New(Options{MaxJobs: 1, Workers: runner.Serial})
+	blocker, err := e.Submit(blockerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain: %v, want deadline exceeded", err)
+	}
+	e.Close()
+	if blocker.State() != StateCanceled {
+		t.Fatalf("blocker ended %s after Close, want canceled", blocker.State())
 	}
 }
 
